@@ -1,0 +1,124 @@
+"""Experiments C1–C8 — the Section-5 calculus examples.
+
+Each benchmark evaluates one of the paper's worked calculus queries on
+the Knuth_Books / Letters databases (the same queries the unit tests in
+tests/calculus/test_paper_examples.py pin down).
+"""
+
+import pytest
+
+from repro.calculus import (
+    And,
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Eq,
+    EvalContext,
+    Exists,
+    FunTerm,
+    Index,
+    Name,
+    Not,
+    PathAtom,
+    PathTerm,
+    PathVar,
+    Pred,
+    Query,
+    Sel,
+    SetBind,
+    check_safety,
+    evaluate_query,
+    infer_types,
+)
+from repro.corpus.knuth import build_knuth_database
+from repro.corpus.letters import build_letters_database
+
+X, Y, I, J, K = (DataVar(n) for n in "XYIJK")
+P, Q2 = PathVar("P"), PathVar("Q")
+A = AttVar("A")
+
+
+@pytest.fixture(scope="module")
+def knuth_ctx():
+    return EvalContext(build_knuth_database())
+
+
+@pytest.fixture(scope="module")
+def letters_ctx():
+    return EvalContext(build_letters_database())
+
+
+def c1_query():
+    """In which attribute can "Jo" be found?"""
+    return Query([A], Exists([P, X], And(
+        PathAtom(Name("Knuth_Books"), PathTerm([P, Sel(A), Bind(X)])),
+        Eq(X, Const("Jo")))))
+
+
+def c2_query():
+    """Which paths lead to "Jo"?"""
+    return Query([P], Exists([X], And(
+        PathAtom(Name("Knuth_Books"), PathTerm([P, Bind(X)])),
+        Eq(X, Const("Jo")))))
+
+
+def test_bench_c1_attribute_of_jo(benchmark, knuth_ctx, capsys):
+    result = benchmark(evaluate_query, c1_query(), knuth_ctx)
+    assert set(result) == {"author"}
+    with capsys.disabled():
+        print("\n[C1] 'Jo' is found in attribute: author")
+
+
+def test_bench_c2_paths_to_jo(benchmark, knuth_ctx, capsys):
+    result = benchmark(evaluate_query, c2_query(), knuth_ctx)
+    assert len(result) == 1
+    with capsys.disabled():
+        print(f"\n[C2] path to 'Jo': {list(result)[0]}")
+
+
+def test_bench_c5_length_restricted(benchmark, knuth_ctx):
+    query = Query([X], Exists([P, A], And(
+        PathAtom(Name("Knuth_Books"), PathTerm([P, Sel(A), Bind(X)])),
+        Pred("contains", [FunTerm("name", [A]), Const("(t|T)itle")]),
+        Pred("lt", [FunTerm("length", [P]), Const(3)]))))
+    result = benchmark(evaluate_query, query, knuth_ctx)
+    assert "Fundamental Algorithms" in set(result)
+
+
+def test_bench_c6_review_restriction(benchmark, knuth_ctx):
+    from repro.calculus import In, PathApply
+    query = Query([X], Exists([P], And(
+        PathAtom(Name("Knuth_Books"),
+                 PathTerm([P, Bind(X), Sel("title")])),
+        In(Const("D. Scott"), PathApply(X, PathTerm([Sel("review")]))))))
+    result = benchmark(evaluate_query, query, knuth_ctx)
+    assert len(result) >= 3
+
+
+def test_bench_c8_letters_dagger(benchmark, letters_ctx):
+    query = Query([Y], Exists([A, I, J, K], And(
+        PathAtom(Name("Letters"), PathTerm([
+            Index(I), Sel(A), Bind(Y), Index(J), Sel("to")])),
+        PathAtom(Name("Letters"), PathTerm([
+            Index(I), Sel(A), Index(K), Sel("from")])),
+        Pred("lt", [J, K]))))
+    result = benchmark(evaluate_query, query, letters_ctx)
+    assert len(result) == 2
+
+
+def test_bench_safety_analysis(benchmark):
+    """The static range-restriction check alone."""
+    query = c1_query()
+    benchmark(check_safety, query)
+
+
+def test_bench_type_inference(benchmark, knuth_ctx):
+    """Type inference with the α-union construction (Section 5.3)."""
+    from repro.corpus.knuth import knuth_schema
+    schema = knuth_schema()
+    query = Query([X], Exists([P], PathAtom(
+        Name("Knuth_Books"), PathTerm([P, Bind(X), Sel("title")]))))
+    types = benchmark(infer_types, query, schema)
+    from repro.oodb.types import UnionType
+    assert isinstance(types[X], UnionType)

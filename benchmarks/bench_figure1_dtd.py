@@ -1,0 +1,56 @@
+"""Experiment F1 — Figure 1: parsing the article DTD.
+
+Regenerates the paper's Figure-1 inventory (13 elements, 4 attribute
+lists, the fig1 entity) and measures DTD parsing plus content-automaton
+construction.
+"""
+
+from repro.corpus.article_dtd import ARTICLE_DTD, article_dtd
+from repro.sgml.automata import ContentAutomaton
+from repro.sgml.dtd_parser import parse_dtd
+
+FIGURE1_ELEMENTS = {
+    "article", "title", "author", "affil", "abstract", "section",
+    "subsectn", "body", "figure", "picture", "caption", "paragr",
+    "acknowl"}
+
+
+def test_bench_parse_figure1_dtd(benchmark, capsys):
+    """Parse Figure 1 and print the regenerated inventory."""
+    dtd = benchmark(parse_dtd, ARTICLE_DTD)
+    assert set(dtd.element_names) == FIGURE1_ELEMENTS
+    assert dtd.check() == []
+    with capsys.disabled():
+        print("\n[F1] Figure 1 regenerated — element inventory:")
+        for name in dtd.element_names:
+            declaration = dtd.element(name)
+            attlist = dtd.attlist(name)
+            attributes = (", ".join(d.name for d in attlist)
+                          if attlist else "-")
+            print(f"  <!ELEMENT {name:<9s} {declaration.model}>  "
+                  f"attrs: {attributes}")
+        entity = dtd.entity("fig1")
+        print(f"  <!ENTITY fig1 SYSTEM {entity.system_id!r}>")
+
+
+def test_bench_content_automata(benchmark):
+    """Glushkov DFA construction for all 13 content models."""
+    dtd = article_dtd()
+
+    def build_all():
+        return [ContentAutomaton(dtd.element(name).model)
+                for name in dtd.element_names]
+
+    automata = benchmark(build_all)
+    assert all(a.state_count >= 1 for a in automata)
+
+
+def test_bench_parse_large_generated_dtd(benchmark):
+    """DTD parsing scales to hundreds of declarations (200 elements)."""
+    declarations = ["<!ELEMENT root - - (e0+)>"]
+    for i in range(200):
+        nxt = f"(e{i + 1}*, #PCDATA)" if i < 199 else "(#PCDATA)"
+        declarations.append(f"<!ELEMENT e{i} - O {nxt}>")
+    text = "\n".join(declarations)
+    dtd = benchmark(parse_dtd, text)
+    assert len(dtd.element_names) == 201

@@ -1,0 +1,67 @@
+"""Experiment F2 — Figure 2: parsing the document instance.
+
+The Figure-2 document omits every omissible end tag; parsing it
+exercises the tag-inference machinery.  The scaling benches measure
+parse+validate throughput on generated documents.
+"""
+
+from repro.corpus.article_dtd import article_dtd
+from repro.corpus.sample_article import SAMPLE_ARTICLE
+from repro.sgml.instance import element_count
+from repro.sgml.instance_parser import parse_document
+from repro.sgml.validator import validation_problems
+
+
+def test_bench_parse_figure2(benchmark, capsys):
+    dtd = article_dtd()
+    tree = benchmark(parse_document, SAMPLE_ARTICLE, dtd)
+    assert tree.name == "article"
+    assert element_count(tree) == 17
+    assert validation_problems(tree, dtd) == []
+    with capsys.disabled():
+        inferred = sum(1 for e in _walk(tree) if e.end_inferred)
+        print(f"\n[F2] Figure 2 parsed: {element_count(tree)} elements, "
+              f"{inferred} end tags inferred, document valid")
+        print(f"     authors: "
+              f"{[a.text_content() for a in tree.find_all('author')]}")
+
+
+def _walk(tree):
+    from repro.sgml.instance import iter_elements
+    return iter_elements(tree)
+
+
+def test_bench_validate_figure2(benchmark):
+    dtd = article_dtd()
+    tree = parse_document(SAMPLE_ARTICLE, dtd)
+    problems = benchmark(validation_problems, tree, dtd)
+    assert problems == []
+
+
+def test_bench_parse_corpus_throughput(benchmark, corpus_texts, capsys):
+    """Parse 20 generated documents (fully tagged serialization)."""
+    dtd = article_dtd()
+
+    def parse_all():
+        return [parse_document(text, dtd) for text in corpus_texts]
+
+    trees = benchmark(parse_all)
+    total_elements = sum(element_count(t) for t in trees)
+    total_bytes = sum(len(t) for t in corpus_texts)
+    with capsys.disabled():
+        print(f"\n[F2] corpus parse: {len(trees)} documents, "
+              f"{total_elements} elements, {total_bytes} bytes")
+
+
+def test_bench_round_trip(benchmark, corpus_texts):
+    """parse -> write -> parse equals the first parse."""
+    from repro.sgml.writer import write_document
+    dtd = article_dtd()
+    text = corpus_texts[0]
+
+    def round_trip():
+        tree = parse_document(text, dtd)
+        return parse_document(write_document(tree, dtd), dtd)
+
+    tree = benchmark(round_trip)
+    assert tree == parse_document(text, dtd)

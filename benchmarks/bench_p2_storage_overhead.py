@@ -1,0 +1,86 @@
+"""Experiment P2 — the Section-3 storage overhead.
+
+"The representation of SGML documents in an OODB such as O₂ comes with
+some extra cost in storage.  This is typically the price paid to improve
+access flexibility and performance."
+
+We measure that cost: raw SGML bytes vs (i) the sum of encoded object
+values, (ii) the full snapshot file (including oid bookkeeping), across
+corpus sizes — and the flexibility bought, via a direct-access probe
+that the flat text cannot answer without a full parse.
+"""
+
+import pytest
+
+from conftest import CORPUS_SIZES
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD
+from repro.corpus.generator import generate_corpus
+from repro.sgml.writer import write_document
+
+
+def build(size: int):
+    store = DocumentStore(ARTICLE_DTD)
+    texts = []
+    for tree in generate_corpus(size, seed=42):
+        store.load_tree(tree, validate=False)
+        texts.append(write_document(tree, store.dtd, minimize=True))
+    return store, texts
+
+
+@pytest.mark.parametrize("size", CORPUS_SIZES)
+def test_bench_p2_overhead(benchmark, size, capsys):
+    store, texts = build(size)
+    raw_bytes = sum(len(t.encode()) for t in texts)
+
+    snapshot = benchmark(store.store.snapshot_bytes)
+
+    value_bytes = store.store.total_bytes()
+    with capsys.disabled():
+        print(f"\n[P2] corpus={size:3d}: raw SGML {raw_bytes:8d} B | "
+              f"object values {value_bytes:8d} B "
+              f"({value_bytes / raw_bytes:4.2f}x) | "
+              f"snapshot {len(snapshot):8d} B "
+              f"({len(snapshot) / raw_bytes:4.2f}x)")
+    # the paper's qualitative claim: some extra cost, bounded
+    assert value_bytes > 0
+    assert len(snapshot) < raw_bytes * 5
+
+
+def test_bench_p2_flexibility_direct_access(benchmark, capsys):
+    """What the overhead buys: jump to section titles without parsing."""
+    store, texts = build(20)
+
+    def direct_titles():
+        titles = []
+        for article_oid in store.instance.root("Articles"):
+            article = store.instance.deref(article_oid)
+            for section_oid in article.get("sections"):
+                section = store.instance.deref(section_oid)
+                titles.append(section.marked_value.get("title"))
+        return titles
+
+    titles = benchmark(direct_titles)
+    assert len(titles) > 20
+    with capsys.disabled():
+        print(f"\n[P2] direct access: {len(titles)} section titles "
+              "reached through object references (no re-parse)")
+
+
+def test_bench_p2_flat_text_equivalent(benchmark):
+    """The flat-file counterpart: re-parse everything to reach titles."""
+    from repro.corpus.article_dtd import article_dtd
+    from repro.sgml.instance_parser import parse_document
+    _, texts = build(20)
+    dtd = article_dtd()
+
+    def reparse_titles():
+        titles = []
+        for text in texts:
+            tree = parse_document(text, dtd)
+            for section in tree.find_all("section"):
+                titles.append(section.first("title"))
+        return titles
+
+    titles = benchmark(reparse_titles)
+    assert len(titles) > 20

@@ -1,0 +1,86 @@
+"""Experiment P3 — restricted vs liberal path semantics (Section 5.2).
+
+The restricted semantics bounds concrete paths by the *schema* (no two
+dereferences through one class); the liberal semantics by the *data* (no
+object revisited).  We measure enumeration counts and times on (i) the
+acyclic article documents, where the two nearly coincide, and (ii) a
+cyclic cross-reference web, where the liberal enumeration grows with
+the data while the restricted one stays flat.
+"""
+
+import pytest
+
+from repro.calculus import EvalContext
+from repro.oodb import (
+    Instance,
+    ListValue,
+    STRING,
+    TupleValue,
+    c,
+    list_of,
+    schema_from_classes,
+    tuple_of,
+)
+from repro.paths.enumeration import LIBERAL, RESTRICTED, enumerate_paths
+
+
+def build_ring(size: int) -> tuple[Instance, object]:
+    """A ring of `size` nodes, each linking to the next."""
+    schema = schema_from_classes(
+        {"Node": tuple_of(("label", STRING),
+                          ("next", c("Node")))},
+        roots={"entry": c("Node")})
+    db = Instance(schema)
+    nodes = [db.new_object("Node") for _ in range(size)]
+    for position, node in enumerate(nodes):
+        db.set_value(node, TupleValue([
+            ("label", f"n{position}"),
+            ("next", nodes[(position + 1) % size])]))
+    db.set_root("entry", nodes[0])
+    return db, nodes[0]
+
+
+@pytest.mark.parametrize("semantics", [RESTRICTED, LIBERAL])
+def test_bench_p3_article_enumeration(benchmark, semantics,
+                                      figure2_store, capsys):
+    article = figure2_store.instance.root("my_article")
+    paths = benchmark(enumerate_paths, article,
+                      figure2_store.instance, semantics)
+    with capsys.disabled():
+        print(f"\n[P3] article ({semantics}): {len(paths)} concrete "
+              "paths")
+
+
+@pytest.mark.parametrize("semantics,size", [
+    (RESTRICTED, 4), (LIBERAL, 4),
+    (RESTRICTED, 16), (LIBERAL, 16),
+    (RESTRICTED, 64), (LIBERAL, 64),
+])
+def test_bench_p3_ring_enumeration(benchmark, semantics, size, capsys):
+    db, entry = build_ring(size)
+    paths = benchmark(enumerate_paths, entry, db, semantics)
+    with capsys.disabled():
+        print(f"\n[P3] ring of {size} ({semantics}): "
+              f"{len(paths)} paths")
+    if semantics == RESTRICTED:
+        # schema-bounded: one Node dereference, independent of size
+        assert len(paths) <= 6
+    else:
+        # data-bounded: grows linearly with the ring
+        assert len(paths) >= 3 * size
+
+
+def test_bench_p3_query_under_each_semantics(benchmark, capsys):
+    """The Q3-style query on the ring under the liberal semantics."""
+    from repro.o2sql import QueryEngine
+    db, _ = build_ring(16)
+    engine = QueryEngine(db, path_semantics=LIBERAL)
+    result = benchmark(
+        engine.run, "select x from entry PATH_p.label(x)")
+    assert len(result) == 16  # every node's label reachable
+    with capsys.disabled():
+        print("\n[P3] liberal query reaches all 16 labels; restricted "
+              "reaches 2 (entry + one hop)")
+    restricted = QueryEngine(db, path_semantics=RESTRICTED)
+    near = restricted.run("select x from entry PATH_p.label(x)")
+    assert len(near) == 2

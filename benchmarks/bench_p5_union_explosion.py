@@ -1,0 +1,103 @@
+"""Experiment P5 — the union-type "combinatorial explosion"
+(Sections 4.2 / 5.3).
+
+The paper warns twice that union types "may result into a combinatorial
+explosion of types" and adds a guard ("some semantic rules can be added
+to the O₂SQL typing mechanism in order to control this inflation").  We
+measure type inference and union merging as the number of alternatives
+grows, and check that the guard (MAX_UNION_WIDTH) fires.
+"""
+
+import pytest
+
+from repro.calculus import (
+    Bind,
+    DataVar,
+    Exists,
+    Name,
+    PathAtom,
+    PathTerm,
+    PathVar,
+    Query,
+    Sel,
+    infer_types,
+)
+from repro.calculus.inference import MAX_UNION_WIDTH
+from repro.errors import QueryTypeError, SubtypingError
+from repro.oodb import (
+    INTEGER,
+    STRING,
+    merge_unions,
+    schema_from_classes,
+    tuple_of,
+    union_of,
+)
+
+X = DataVar("X")
+P = PathVar("P")
+
+
+def wide_schema(width: int):
+    """A root whose structure nests `width` distinct tuple shapes, all
+    carrying a `v` attribute — every one a candidate type for X."""
+    fields = []
+    for i in range(width):
+        fields.append((f"part{i}", tuple_of(
+            (f"pad{i}", INTEGER), ("v", STRING))))
+    return schema_from_classes({}, roots={"Root": tuple_of(*fields)})
+
+
+@pytest.mark.parametrize("width", [4, 16, 48])
+def test_bench_p5_inference_width(benchmark, width, capsys):
+    schema = wide_schema(width)
+    query = Query([X], Exists([P], PathAtom(
+        Name("Root"), PathTerm([P, Bind(X), Sel("v")]))))
+    types = benchmark(infer_types, query, schema)
+    from repro.oodb.types import UnionType
+    inferred = types[X]
+    assert isinstance(inferred, UnionType)
+    assert len(inferred) == width
+    with capsys.disabled():
+        print(f"\n[P5] width={width}: X inferred as a union of "
+              f"{len(inferred)} α-marked types")
+
+
+def test_bench_p5_guard_fires(benchmark):
+    """Beyond MAX_UNION_WIDTH the inference reports a type error — the
+    paper's 'control this inflation' rule."""
+    schema = wide_schema(MAX_UNION_WIDTH + 5)
+    query = Query([X], Exists([P], PathAtom(
+        Name("Root"), PathTerm([P, Bind(X), Sel("v")]))))
+
+    def guard_fires() -> bool:
+        try:
+            infer_types(query, schema)
+        except QueryTypeError:
+            return True
+        return False
+
+    assert benchmark(guard_fires)
+
+
+@pytest.mark.parametrize("width", [8, 64, 256])
+def test_bench_p5_union_merge(benchmark, width):
+    """Pairwise least-common-supertype of two wide unions."""
+    left = union_of(*[(f"m{i}", INTEGER) for i in range(width)])
+    right = union_of(*[(f"m{i + width // 2}", INTEGER)
+                       for i in range(width)])
+    merged = benchmark(merge_unions, left, right)
+    assert len(merged) == width + width // 2
+
+
+def test_bench_p5_marker_conflict_detection(benchmark):
+    left = union_of(("a", INTEGER), ("b", STRING))
+    right = union_of(("b", INTEGER), ("c", STRING))  # b conflicts
+
+    def merge_fails():
+        try:
+            merge_unions(left, right)
+        except SubtypingError:
+            return True
+        return False
+
+    assert benchmark(merge_fails)

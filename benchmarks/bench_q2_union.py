@@ -1,0 +1,59 @@
+"""Experiment Q2 — union types, implicit selectors and text().
+
+    select ss
+    from a in Articles, s in a.sections, ss in s.subsectns
+    where ss contains ("complex object")
+
+The iteration over ``s.subsectns`` silently selects the a2-marked
+sections; ``contains`` over the subsection objects goes through the
+``text()`` inverse mapping.
+"""
+
+import pytest
+
+from conftest import build_corpus_store
+
+Q2 = """
+    select ss
+    from a in Articles, s in a.sections, ss in s.subsectns
+    where ss contains ("complex object")
+"""
+
+ALL_SUBSECTIONS = """
+    select ss
+    from a in Articles, s in a.sections, ss in s.subsectns
+"""
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_corpus_store(20)
+
+
+def test_bench_q2(benchmark, store, capsys):
+    result = benchmark(store.query, Q2)
+    for subsection in result:
+        assert subsection.class_name == "Subsectn"
+        assert "complex object" in store.text(subsection)
+    total = len(store.query(ALL_SUBSECTIONS))
+    with capsys.disabled():
+        print(f"\n[Q2] {len(result)} of {total} subsections contain "
+              "'complex object' (a1-marked sections skipped "
+              "implicitly)")
+
+
+def test_bench_q2_union_iteration_only(benchmark, store):
+    """The cost of iterating through the implicit selector alone."""
+    result = benchmark(store.query, ALL_SUBSECTIONS)
+    assert len(result) > 0
+
+
+def test_bench_q2_text_inverse(benchmark, store):
+    """text() reconstruction for every subsection."""
+    subsections = list(store.query(ALL_SUBSECTIONS))
+
+    def reconstruct():
+        return [store.text(ss) for ss in subsections]
+
+    texts = benchmark(reconstruct)
+    assert all(isinstance(t, str) and t for t in texts)

@@ -1,0 +1,83 @@
+"""Experiment Q4 — structural difference between document versions.
+
+    my_article PATH_p - my_old_article PATH_p
+
+Measured for identical versions (empty diff), an extended version, and
+growing documents (the cost is the two path enumerations plus a set
+difference).
+"""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_article
+
+Q4 = "my_article PATH_p - my_old_article PATH_p"
+
+
+@pytest.fixture(scope="module")
+def edited_store():
+    store = DocumentStore(ARTICLE_DTD)
+    store.load_text(SAMPLE_ARTICLE, name="my_old_article")
+    extended = SAMPLE_ARTICLE.replace(
+        "<acknowl>",
+        "<section><title> New results\n"
+        "<body><paragr> Fresh findings.\n</body></section>\n<acknowl>")
+    store.load_text(extended, name="my_article")
+    return store
+
+
+def test_bench_q4_identical(benchmark, figure2_store, capsys):
+    result = benchmark(figure2_store.query, Q4)
+    assert len(result) == 0
+    with capsys.disabled():
+        print("\n[Q4] identical versions: 0 differing paths")
+
+
+def test_bench_q4_extended(benchmark, edited_store, capsys):
+    result = benchmark(edited_store.query, Q4)
+    rendered = {str(p) for p in result}
+    assert any(".sections[2]" in p for p in rendered)
+    with capsys.disabled():
+        print(f"\n[Q4] extended version adds {len(result)} paths "
+              "(all under .sections[2])")
+
+
+def test_bench_q4_large_documents(benchmark, capsys):
+    """Diff of two 15-section articles differing in one section."""
+    store = DocumentStore(ARTICLE_DTD)
+    old_tree = generate_article(seed=9, sections=15)
+    store.load_tree(old_tree, name="my_old_article", validate=False)
+    # the new version: same article with one section spliced in
+    from repro.sgml.instance import Element, Text
+    extended = generate_article(seed=9, sections=15)
+    section = Element("section")
+    title = Element("title")
+    title.append(Text("brand new"))
+    section.append(title)
+    body = Element("body")
+    paragraph = Element("paragr")
+    paragraph.append(Text("added content"))
+    body.append(paragraph)
+    section.append(body)
+    acknowl_index = next(
+        i for i, child in enumerate(extended.children)
+        if getattr(child, "name", "") == "acknowl")
+    extended.children.insert(acknowl_index, section)
+    section.parent = extended
+    store.load_tree(extended, name="my_article", validate=False)
+
+    result = benchmark(store.query, Q4)
+    assert len(result) > 0
+    with capsys.disabled():
+        print(f"\n[Q4-scale] 15-section articles: {len(result)} new "
+              "paths detected")
+
+
+def test_bench_path_enumeration_alone(benchmark, figure2_store):
+    """The raw enumeration cost behind each Q4 operand."""
+    from repro.paths.enumeration import enumerate_paths
+    article = figure2_store.instance.root("my_article")
+    paths = benchmark(enumerate_paths, article, figure2_store.instance)
+    assert len(paths) > 20

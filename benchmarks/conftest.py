@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Corpora are built once per session; every benchmark then measures only
+the operation under study.  Sizes are chosen so the full harness runs in
+well under a minute while still showing the scaling trends recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+from repro.sgml.writer import write_document
+
+
+CORPUS_SIZES = (5, 20, 60)
+
+
+@pytest.fixture(scope="session")
+def figure2_store():
+    store = DocumentStore(ARTICLE_DTD)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    store.load_text(SAMPLE_ARTICLE, name="my_old_article")
+    return store
+
+
+def build_corpus_store(size: int, seed: int = 42,
+                       backend: str = "calculus") -> DocumentStore:
+    store = DocumentStore(ARTICLE_DTD, backend=backend)
+    for tree in generate_corpus(size, seed=seed):
+        store.load_tree(tree, validate=False)
+    return store
+
+
+@pytest.fixture(scope="session")
+def corpus_store():
+    """The default mid-size corpus (20 articles)."""
+    return build_corpus_store(20)
+
+
+@pytest.fixture(scope="session")
+def corpus_texts():
+    """Raw SGML text of the mid-size corpus (for parser benchmarks)."""
+    dtd_store = DocumentStore(ARTICLE_DTD)
+    return [write_document(tree, dtd_store.dtd)
+            for tree in generate_corpus(20, seed=42)]

@@ -1,0 +1,31 @@
+"""Reproduction of Christophides, Abiteboul, Cluet & Scholl,
+*From Structured Documents to Novel Query Facilities* (SIGMOD 1994).
+
+The package implements the whole stack the paper describes:
+
+* :mod:`repro.sgml` — DTD + document-instance parsing (Section 2),
+* :mod:`repro.oodb` — the extended O₂ data model with ordered tuples
+  and marked unions (Sections 3 / 5.1),
+* :mod:`repro.mapping` — the SGML → OODB mapping (Section 3),
+* :mod:`repro.text` — IR predicates and full-text indexing (Section 4.1),
+* :mod:`repro.paths` — paths as first-class citizens (Sections 4.3 / 5.2),
+* :mod:`repro.o2sql` — the extended query language (Section 4),
+* :mod:`repro.calculus` — the formal calculus (Section 5),
+* :mod:`repro.algebra` — the algebraization (Section 5.4),
+* :mod:`repro.corpus` — the paper's figures and synthetic corpora.
+
+Quickstart::
+
+    from repro import DocumentStore
+    from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+
+    store = DocumentStore(ARTICLE_DTD)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    titles = store.query("select t from my_article PATH_p.title(t)")
+"""
+
+from repro.session import DocumentStore
+
+__version__ = "1.0.0"
+
+__all__ = ["DocumentStore", "__version__"]

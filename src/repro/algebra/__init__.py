@@ -1,0 +1,46 @@
+"""The algebraization of the calculus (Section 5.4).
+
+The paper sketches a two-step algebraization: (i) an algebra in the
+spirit of complex-object algebras, extended with variant-based selection
+over heterogeneous collections; (ii) the elimination of path and
+attribute variables — "by analysis of the query using schema
+information, one can find candidate valuations for the P_i and A_j", so
+a query with such variables becomes a **union of queries without
+attribute or path variables**.
+
+* :mod:`repro.algebra.operators` — the operator algebra (binding
+  streams),
+* :mod:`repro.algebra.compile` — calculus → algebra, including the
+  schema-driven variable elimination,
+* :mod:`repro.algebra.optimizer` — rewrites (full-text index
+  utilisation for ``contains``),
+* :mod:`repro.algebra.execute` — plan interpreter.
+
+The restricted path semantics is required: under the liberal semantics
+the same compilation would need a transitive-closure operator (the
+paper's closing remark), which this algebra intentionally lacks.
+"""
+
+from repro.algebra.compile import compile_query
+from repro.algebra.execute import execute_plan
+from repro.algebra.operators import (
+    BindOp,
+    FormulaOp,
+    IndexFilterOp,
+    MakePathOp,
+    NegationOp,
+    Operator,
+    ProjectOp,
+    SeedOp,
+    SelectOp,
+    StepOp,
+    UnionOp,
+    UnnestOp,
+)
+from repro.algebra.optimizer import optimize
+
+__all__ = [
+    "BindOp", "FormulaOp", "IndexFilterOp", "MakePathOp", "NegationOp",
+    "Operator", "ProjectOp", "SeedOp", "SelectOp", "StepOp", "UnionOp",
+    "UnnestOp", "compile_query", "execute_plan", "optimize",
+]

@@ -1,0 +1,40 @@
+"""Plan execution."""
+
+from __future__ import annotations
+
+from repro.errors import SafetyError
+from repro.calculus.evaluator import EvalContext
+from repro.oodb.values import SetValue, TupleValue
+from repro.algebra.operators import Operator, ProjectOp
+
+
+def execute_plan(plan: ProjectOp, ctx: EvalContext) -> SetValue:
+    """Run a compiled plan; the result shape matches
+    :func:`repro.calculus.evaluator.evaluate_query`."""
+    if not isinstance(plan, ProjectOp):
+        raise SafetyError("a plan must be rooted at a ProjectOp")
+    head = plan.head
+    results = []
+    seen: set = set()
+    for row in plan.rows(ctx):
+        if len(head) == 1:
+            value = row[head[0]]
+        else:
+            value = TupleValue([(str(variable), row[variable])
+                                for variable in head])
+        if value not in seen:
+            seen.add(value)
+            results.append(value)
+    return SetValue(results)
+
+
+def plan_size(plan: Operator) -> int:
+    """Number of operators in the plan tree (for tests/benchmarks)."""
+    return 1 + sum(plan_size(child) for child in plan.children())
+
+
+def count_unions(plan: Operator) -> int:
+    """Number of UnionOp nodes (the variable-elimination fan-out)."""
+    from repro.algebra.operators import UnionOp
+    own = 1 if isinstance(plan, UnionOp) else 0
+    return own + sum(count_unions(child) for child in plan.children())

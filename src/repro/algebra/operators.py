@@ -1,0 +1,463 @@
+"""The operator algebra (Section 5.4).
+
+Operators are streams of variable bindings (environments).  A plan is an
+operator tree; executing it yields bindings which the final
+:class:`ProjectOp` turns into the query's result set.
+
+The algebra corresponds to a complex-object algebra with the paper's
+additions:
+
+* :class:`StepOp` — navigation steps, including *variant-based
+  selection* over marked unions (the implicit selectors) and the
+  heterogeneous-list view of ordered tuples;
+* :class:`UnnestOp` — iteration over lists/sets (with optional position
+  binding);
+* :class:`MakePathOp` — reconstruction of a path variable's value from
+  the compiled navigation template (so paths remain first-class in
+  results);
+* :class:`UnionOp` — the union of variable-free plans that a
+  path/attribute variable compiles into;
+* :class:`NegationOp` / :class:`FormulaOp` — boolean combination with
+  (⋆)-form subplans, realised by delegating the residual formula to the
+  calculus interpreter per row (the paper's "boolean combination of
+  queries of the form (⋆)").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CompilationError, EvaluationError
+from repro.calculus.evaluator import (
+    Binding,
+    EvalContext,
+    _auto_deref,
+    _select_attribute,
+    eval_term,
+    satisfy,
+)
+from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
+from repro.paths.steps import (
+    AttrStep,
+    DEREF,
+    ElemStep,
+    IndexStep,
+    Path,
+)
+
+
+class Operator:
+    """Base class of plan operators."""
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+    def children(self) -> list["Operator"]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.describe()
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+class SeedOp(Operator):
+    """One empty binding — the start of every plan."""
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        yield {}
+
+    def describe(self, indent: int = 0) -> str:
+        return _pad(indent) + "Seed"
+
+
+class BindOp(Operator):
+    """Bind ``var`` to the value of a ground term; rows where the term
+    does not evaluate (wrong union branch) are dropped."""
+
+    def __init__(self, child: Operator, variable, term) -> None:
+        self.child = child
+        self.variable = variable
+        self.term = term
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            try:
+                value = eval_term(self.term, row, ctx)
+            except EvaluationError:
+                continue
+            if self.variable in row:
+                from repro.oodb.values import equivalent
+                if equivalent(row[self.variable], value):
+                    yield row
+                continue
+            extended = dict(row)
+            extended[self.variable] = value
+            yield extended
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent) + f"Bind {self.variable} = {self.term}\n"
+                + self.child.describe(indent + 1))
+
+
+class UnnestOp(Operator):
+    """Iterate a collection term, binding the element (and, for lists,
+    optionally the position).
+
+    ``mode`` mirrors the calculus construct being compiled, so the
+    operator matches its semantics exactly:
+
+    * ``"collection"`` — an ``∈`` atom: lists and sets only, no
+      dereferencing, no tuple view;
+    * ``"positions"`` — a variable ``[I]`` step: auto-dereference, then
+      lists or the (marker-skipping) heterogeneous-list view of ordered
+      tuples — never sets;
+    * ``"set"`` — a ``{X}`` step: auto-dereference, then sets only.
+    """
+
+    def __init__(self, child: Operator, collection_term, element_var,
+                 index_var=None, mode: str = "collection") -> None:
+        if mode not in ("collection", "positions", "set"):
+            raise CompilationError(f"unknown unnest mode {mode!r}")
+        self.child = child
+        self.collection_term = collection_term
+        self.element_var = element_var
+        self.index_var = index_var
+        self.mode = mode
+
+    def _resolve(self, collection, ctx: EvalContext):
+        if self.mode == "collection":
+            if isinstance(collection, (ListValue, SetValue)):
+                return collection
+            return None
+        collection = _auto_deref(collection, ctx)
+        if self.mode == "set":
+            return collection if isinstance(collection, SetValue) \
+                else None
+        # positions
+        if isinstance(collection, TupleValue):
+            if (collection.is_marked
+                    and isinstance(collection.marked_value, TupleValue)):
+                collection = collection.marked_value
+            return collection.as_heterogeneous_list()
+        if isinstance(collection, ListValue):
+            return collection
+        return None
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            try:
+                collection = eval_term(self.collection_term, row, ctx)
+            except EvaluationError:
+                continue
+            collection = self._resolve(collection, ctx)
+            if collection is None:
+                continue
+            for position, element in enumerate(collection):
+                extended = dict(row)
+                extended[self.element_var] = element
+                if self.index_var is not None:
+                    if self.index_var in row:
+                        if row[self.index_var] != position:
+                            continue
+                    else:
+                        extended[self.index_var] = position
+                yield extended
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        position = (f" @{self.index_var}" if self.index_var is not None
+                    else "")
+        return (_pad(indent)
+                + f"Unnest {self.element_var}{position} in "
+                f"{self.collection_term}\n"
+                + self.child.describe(indent + 1))
+
+
+class StepOp(Operator):
+    """One navigation step from ``source_var`` into ``out_var``.
+
+    ``kind`` ∈ {attr, attr_by_var, index, index_by_var, deref}.
+    ``attr`` applies the implicit union selector and auto-dereferences;
+    ``index`` uses the heterogeneous-list view on ordered tuples (this is
+    the paper's variant-based selection over heterogeneous collections).
+    """
+
+    def __init__(self, child: Operator, source_var, kind: str,
+                 argument, out_var) -> None:
+        self.child = child
+        self.source_var = source_var
+        self.kind = kind
+        self.argument = argument
+        self.out_var = out_var
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            source = row.get(self.source_var)
+            if source is None and self.source_var not in row:
+                continue
+            for value in self._apply(source, row, ctx):
+                extended = dict(row)
+                extended[self.out_var] = value
+                yield extended
+
+    def _apply(self, source, row: Binding, ctx: EvalContext) -> list:
+        if self.kind == "deref":
+            if isinstance(source, Oid):
+                return [ctx.instance.deref(source)]
+            return []
+        if self.kind in ("attr", "attr_by_var"):
+            attribute = (self.argument if self.kind == "attr"
+                         else row.get(self.argument))
+            if not isinstance(attribute, str):
+                return []
+            base = _auto_deref(source, ctx)
+            return _select_attribute(base, attribute)
+        if self.kind in ("index", "index_by_var"):
+            index = (self.argument if self.kind == "index"
+                     else row.get(self.argument))
+            if not isinstance(index, int):
+                return []
+            base = _auto_deref(source, ctx)
+            if isinstance(base, TupleValue):
+                if (base.is_marked
+                        and isinstance(base.marked_value, TupleValue)):
+                    base = base.marked_value
+                base = base.as_heterogeneous_list()
+            if isinstance(base, ListValue) and 0 <= index < len(base):
+                return [base[index]]
+            return []
+        raise CompilationError(f"unknown step kind {self.kind!r}")
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent)
+                + f"Step {self.out_var} = {self.source_var}"
+                f".{self.kind}({self.argument})\n"
+                + self.child.describe(indent + 1))
+
+
+class MakePathOp(Operator):
+    """Reconstruct a path variable's first-class value.
+
+    ``template`` is a list of instructions:
+    ``('attr', name)``, ``('index', i)``, ``('index_from', var)``,
+    ``('deref',)``, ``('elem_from', var)``.
+    """
+
+    def __init__(self, child: Operator, template: list, out_var) -> None:
+        self.child = child
+        self.template = template
+        self.out_var = out_var
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            steps = []
+            valid = True
+            for instruction in self.template:
+                kind = instruction[0]
+                if kind == "attr":
+                    steps.append(AttrStep(instruction[1]))
+                elif kind == "index":
+                    steps.append(IndexStep(instruction[1]))
+                elif kind == "index_from":
+                    position = row.get(instruction[1])
+                    if not isinstance(position, int):
+                        valid = False
+                        break
+                    steps.append(IndexStep(position))
+                elif kind == "deref":
+                    steps.append(DEREF)
+                elif kind == "elem_from":
+                    steps.append(ElemStep(row.get(instruction[1])))
+                else:
+                    raise CompilationError(
+                        f"unknown template instruction {instruction!r}")
+            if not valid:
+                continue
+            extended = dict(row)
+            extended[self.out_var] = Path(steps)
+            yield extended
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        rendered = "".join(
+            f".{part[1]}" if part[0] == "attr"
+            else f"[{part[1]}]" if part[0] in ("index", "index_from")
+            else "->" if part[0] == "deref"
+            else "{...}"
+            for part in self.template)
+        return (_pad(indent)
+                + f"MakePath {self.out_var} = {rendered or 'ε'}\n"
+                + self.child.describe(indent + 1))
+
+
+class SelectOp(Operator):
+    """Filter by a ground atom (delegated to the calculus atom
+    semantics, preserving wrong-branch-is-false)."""
+
+    def __init__(self, child: Operator, atom) -> None:
+        self.child = child
+        self.atom = atom
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            for _ in satisfy(self.atom, row, ctx):
+                yield row
+                break
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent) + f"Select {self.atom}\n"
+                + self.child.describe(indent + 1))
+
+
+class NegationOp(Operator):
+    """Anti-filter: keep rows where the subformula has no witness."""
+
+    def __init__(self, child: Operator, formula) -> None:
+        self.child = child
+        self.formula = formula
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            if not any(True for _ in satisfy(self.formula, row, ctx)):
+                yield row
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent) + f"AntiFilter ¬({self.formula})\n"
+                + self.child.describe(indent + 1))
+
+
+class FormulaOp(Operator):
+    """Generality fallback: satisfy an arbitrary residual formula per
+    row via the calculus interpreter (used for quantifiers the purely
+    algebraic operators do not cover)."""
+
+    def __init__(self, child: Operator, formula) -> None:
+        self.child = child
+        self.formula = formula
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            yield from satisfy(self.formula, row, ctx)
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent) + f"Formula {self.formula}\n"
+                + self.child.describe(indent + 1))
+
+
+class UnionOp(Operator):
+    """Union of alternative plans (the (⋆)-elimination product)."""
+
+    def __init__(self, branches: list[Operator]) -> None:
+        if not branches:
+            raise CompilationError("union of zero plans")
+        self.branches = branches
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for branch in self.branches:
+            yield from branch.rows(ctx)
+
+    def children(self) -> list[Operator]:
+        return list(self.branches)
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [_pad(indent) + f"Union ({len(self.branches)} branches)"]
+        for branch in self.branches:
+            lines.append(branch.describe(indent + 1))
+        return "\n".join(lines)
+
+
+class IndexFilterOp(Operator):
+    """Optimizer product: prune rows whose variable cannot satisfy a
+    ``contains`` pattern, using the full-text index, then re-check
+    exactly."""
+
+    def __init__(self, child: Operator, variable, pattern,
+                 recheck_atom) -> None:
+        self.child = child
+        self.variable = variable
+        self.pattern = pattern
+        self.recheck_atom = recheck_atom
+        self._candidates = None
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        index = getattr(ctx, "text_index", None)
+        if index is None:
+            # no index available: behave like a plain select
+            for row in self.child.rows(ctx):
+                for _ in satisfy(self.recheck_atom, row, ctx):
+                    yield row
+                    break
+            return
+        if self._candidates is None:
+            self._candidates = index.candidates(self.pattern)
+        candidates = self._candidates
+        for row in self.child.rows(ctx):
+            value = row.get(self.variable)
+            if candidates is not None and isinstance(value, Oid):
+                if value not in candidates:
+                    continue
+            for _ in satisfy(self.recheck_atom, row, ctx):
+                yield row
+                break
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent)
+                + f"IndexFilter {self.variable} contains {self.pattern}\n"
+                + self.child.describe(indent + 1))
+
+
+class ProjectOp(Operator):
+    """Final projection/deduplication on the head variables."""
+
+    def __init__(self, child: Operator, head: list) -> None:
+        self.child = child
+        self.head = list(head)
+
+    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        seen: set = set()
+        for row in self.child.rows(ctx):
+            projected = {variable: row[variable] for variable in self.head
+                         if variable in row}
+            if len(projected) != len(self.head):
+                continue
+            key = tuple(repr(projected[variable])
+                        for variable in self.head)
+            if key not in seen:
+                seen.add(key)
+                yield projected
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        names = ", ".join(str(v) for v in self.head)
+        return (_pad(indent) + f"Project [{names}]\n"
+                + self.child.describe(indent + 1))

@@ -1,0 +1,160 @@
+"""Plan rewriting (the Section 4.1 / 6 "optimization is crucial" hook).
+
+Two rewrites are implemented:
+
+* **full-text index utilisation** — a :class:`SelectOp` whose atom is
+  ``contains(X, <constant pattern>)`` on a variable becomes an
+  :class:`IndexFilterOp`: candidate oids come from the inverted index,
+  the exact predicate re-checks survivors only.  Non-candidates skip the
+  expensive ``text()`` reconstruction entirely (experiment P1).
+* **selection pushdown** — a ground :class:`SelectOp` sitting above an
+  operator that does not bind any of the atom's variables commutes below
+  it, shrinking intermediate streams.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.formulas import Pred
+from repro.calculus.terms import Const, DataVar
+from repro.text.patterns import PatternExpr
+from repro.algebra.operators import (
+    BindOp,
+    IndexFilterOp,
+    MakePathOp,
+    NegationOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    StepOp,
+    UnionOp,
+    UnnestOp,
+)
+
+
+def optimize(plan: Operator, use_text_index: bool = True,
+             pushdown: bool = True) -> Operator:
+    """Return a rewritten plan (the input is not mutated)."""
+    plan = _rewrite(plan, use_text_index)
+    if pushdown:
+        plan = _pushdown(plan)
+    return plan
+
+
+def _rewrite(plan: Operator, use_text_index: bool) -> Operator:
+    plan = _rebuild(plan, lambda child: _rewrite(child, use_text_index))
+    if use_text_index and isinstance(plan, SelectOp):
+        replacement = _try_index_filter(plan)
+        if replacement is not None:
+            return replacement
+    return plan
+
+
+def _try_index_filter(select: SelectOp) -> IndexFilterOp | None:
+    atom = select.atom
+    if not (isinstance(atom, Pred) and atom.predicate == "contains"
+            and len(atom.arguments) == 2):
+        return None
+    subject, pattern_term = atom.arguments
+    if not isinstance(subject, DataVar):
+        return None
+    if not (isinstance(pattern_term, Const)
+            and isinstance(pattern_term.value, PatternExpr)):
+        return None
+    return IndexFilterOp(select.child, subject, pattern_term.value, atom)
+
+
+def _pushdown(plan: Operator) -> Operator:
+    plan = _rebuild(plan, _pushdown)
+    if isinstance(plan, (SelectOp, IndexFilterOp)):
+        moved = _sink(plan)
+        if moved is not None:
+            return moved
+    return plan
+
+
+def _sink(select) -> Operator | None:
+    """Move a filter below its child when the child binds none of the
+    variables the filter needs."""
+    child = select.child
+    needed = _needed_vars(select)
+    if isinstance(child, (BindOp, StepOp, UnnestOp, MakePathOp)):
+        produced = _produced_vars(child)
+        if needed & produced:
+            return None
+        relocated = _clone_filter(select, child.child)
+        rebuilt = _rebuild_single_child(child, _pushdown(relocated))
+        return rebuilt
+    if isinstance(child, UnionOp):
+        branches = [_pushdown(_clone_filter(select, branch))
+                    for branch in child.branches]
+        return UnionOp(branches)
+    return None
+
+
+def _needed_vars(select) -> set:
+    if isinstance(select, IndexFilterOp):
+        atom = select.recheck_atom
+    else:
+        atom = select.atom
+    return set(atom.free_variables())
+
+
+def _produced_vars(operator: Operator) -> set:
+    if isinstance(operator, BindOp):
+        return {operator.variable}
+    if isinstance(operator, StepOp):
+        return {operator.out_var}
+    if isinstance(operator, UnnestOp):
+        produced = {operator.element_var}
+        if operator.index_var is not None:
+            produced.add(operator.index_var)
+        return produced
+    if isinstance(operator, MakePathOp):
+        return {operator.out_var}
+    return set()
+
+
+def _clone_filter(select, new_child: Operator):
+    if isinstance(select, IndexFilterOp):
+        return IndexFilterOp(new_child, select.variable, select.pattern,
+                             select.recheck_atom)
+    return SelectOp(new_child, select.atom)
+
+
+def _rebuild_single_child(operator: Operator,
+                          new_child: Operator) -> Operator:
+    if isinstance(operator, BindOp):
+        return BindOp(new_child, operator.variable, operator.term)
+    if isinstance(operator, StepOp):
+        return StepOp(new_child, operator.source_var, operator.kind,
+                      operator.argument, operator.out_var)
+    if isinstance(operator, UnnestOp):
+        return UnnestOp(new_child, operator.collection_term,
+                        operator.element_var, operator.index_var,
+                        operator.mode)
+    if isinstance(operator, MakePathOp):
+        return MakePathOp(new_child, operator.template, operator.out_var)
+    raise TypeError(f"cannot rebuild {operator!r}")  # pragma: no cover
+
+
+def _rebuild(plan: Operator, transform) -> Operator:
+    """Apply ``transform`` to children, reconstructing the node."""
+    if isinstance(plan, ProjectOp):
+        return ProjectOp(transform(plan.child), plan.head)
+    if isinstance(plan, SelectOp):
+        return SelectOp(transform(plan.child), plan.atom)
+    if isinstance(plan, IndexFilterOp):
+        return IndexFilterOp(transform(plan.child), plan.variable,
+                             plan.pattern, plan.recheck_atom)
+    if isinstance(plan, NegationOp):
+        return NegationOp(transform(plan.child), plan.formula)
+    if isinstance(plan, UnionOp):
+        return UnionOp([transform(branch) for branch in plan.branches])
+    if isinstance(plan, (BindOp, StepOp, UnnestOp, MakePathOp)):
+        return _rebuild_single_child(plan, transform(plan.child))
+    from repro.algebra.operators import FormulaOp, SeedOp
+    if isinstance(plan, FormulaOp):
+        return FormulaOp(transform(plan.child), plan.formula)
+    if isinstance(plan, SeedOp):
+        return plan
+    return plan

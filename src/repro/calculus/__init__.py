@@ -1,0 +1,61 @@
+"""The many-sorted calculus of Section 5.2.
+
+Three sorts — **val**, **att**, **path** — each with its own variables;
+path predicates ``<v P>`` range-restrict the variables occurring on a
+path.  The public pieces:
+
+* :mod:`repro.calculus.terms` — data/attribute/path terms,
+* :mod:`repro.calculus.formulas` — atoms, connectives, queries,
+* :mod:`repro.calculus.functions` — interpreted functions & predicates,
+* :mod:`repro.calculus.safety` — range-restriction analysis,
+* :mod:`repro.calculus.evaluator` — evaluation over an instance,
+* :mod:`repro.calculus.inference` — variable type inference (Section 5.3).
+"""
+
+from repro.calculus.evaluator import EvalContext, evaluate_query
+from repro.calculus.formulas import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    In,
+    Not,
+    Or,
+    PathAtom,
+    Pred,
+    Query,
+    Subset,
+)
+from repro.calculus.functions import FunctionRegistry, default_registry
+from repro.calculus.inference import infer_types
+from repro.calculus.safety import check_safety
+from repro.calculus.terms import (
+    AttName,
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Deref,
+    FunTerm,
+    Index,
+    ListTerm,
+    MethodTerm,
+    Name,
+    PathApply,
+    PathTerm,
+    PathVar,
+    Sel,
+    SetBind,
+    SetTerm,
+    TupleTerm,
+)
+
+__all__ = [
+    "And", "AttName", "AttVar", "Bind", "Const", "DataVar", "Deref", "Eq",
+    "EvalContext", "Exists", "Forall", "FunTerm", "FunctionRegistry",
+    "Implies", "In", "Index", "ListTerm", "MethodTerm", "Name", "Not", "Or",
+    "PathApply", "PathAtom", "PathTerm", "PathVar", "Pred", "Query", "Sel",
+    "SetBind", "SetTerm", "Subset", "TupleTerm", "check_safety",
+    "default_registry", "evaluate_query", "infer_types",
+]

@@ -1,0 +1,294 @@
+"""Atoms, formulas and queries of the calculus (Section 5.2).
+
+Atoms:
+
+* ``Eq(t, t')``, ``In(t, t')``, ``Subset(t, t')`` — the standard atoms,
+* ``PathAtom(root, path_term)`` — the path predicate ``<v P>``: it both
+  *states the existence* of a concrete path instance and *range
+  restricts* the variables occurring on it,
+* ``Pred(name, args)`` — interpreted predicates (``contains``, ``near``,
+  ``lt``, ...).
+
+Formulas close atoms under ∧, ∨, ¬, ∃, ∀ and an implication connective
+(used to make ∀ range-restricted: ``Forall(vars, Implies(range, body))``).
+
+A :class:`Query` is ``{x1, ..., xn | φ}`` with the ``x_i`` the only free
+variables of φ; its result is always a set (Section 5.2's closing
+remark).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import QueryError
+from repro.calculus.terms import (
+    AttVar,
+    DataVar,
+    PathTerm,
+    PathVar,
+    term_variables,
+)
+
+
+class Formula:
+    """Base class of formulas."""
+
+    def free_variables(self) -> list:
+        """Free variables in order of first appearance (no duplicates)."""
+        seen: list = []
+        for variable in self._free():
+            if variable not in seen:
+                seen.append(variable)
+        return seen
+
+    def _free(self) -> list:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and str(other) == str(self)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return str(self)
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+
+class Atom(Formula):
+    """Base class of atomic formulas."""
+
+
+class Eq(Atom):
+    """``t = t'`` — equality modulo the ≡ equivalence."""
+
+    def __init__(self, left, right) -> None:
+        self.left = left
+        self.right = right
+
+    def _free(self) -> list:
+        return term_variables(self.left) + term_variables(self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class In(Atom):
+    """``t ∈ t'`` — membership in a set or list."""
+
+    def __init__(self, element, collection) -> None:
+        self.element = element
+        self.collection = collection
+
+    def _free(self) -> list:
+        return (term_variables(self.element)
+                + term_variables(self.collection))
+
+    def __str__(self) -> str:
+        return f"{self.element} in {self.collection}"
+
+
+class Subset(Atom):
+    """``t ⊆ t'``."""
+
+    def __init__(self, left, right) -> None:
+        self.left = left
+        self.right = right
+
+    def _free(self) -> list:
+        return term_variables(self.left) + term_variables(self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} subseteq {self.right}"
+
+
+class PathAtom(Atom):
+    """``<root P>`` — the path predicate.
+
+    ``root`` is a data term, ``path`` a :class:`PathTerm`.  A ground
+    instance holds when the path term instantiates to a concrete path
+    from the root of the value.
+    """
+
+    def __init__(self, root, path) -> None:
+        self.root = root
+        self.path = path if isinstance(path, PathTerm) else PathTerm(path)
+
+    def _free(self) -> list:
+        return term_variables(self.root) + self.path.variables()
+
+    def __str__(self) -> str:
+        return f"<{self.root} {self.path}>"
+
+
+class Pred(Atom):
+    """An interpreted predicate, e.g. ``Pred('contains', [t, pattern])``."""
+
+    def __init__(self, predicate: str, arguments: Iterable) -> None:
+        self.predicate = predicate
+        self.arguments = tuple(arguments)
+
+    def _free(self) -> list:
+        return [v for a in self.arguments for v in term_variables(a)]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.arguments)
+        return f"{self.predicate}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Connectives
+# ---------------------------------------------------------------------------
+
+
+class And(Formula):
+    """Conjunction (nested conjunctions are flattened)."""
+
+    def __init__(self, *conjuncts: Formula) -> None:
+        flat: list[Formula] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, And):
+                flat.extend(conjunct.conjuncts)
+            else:
+                flat.append(conjunct)
+        if not flat:
+            raise QueryError("And() needs at least one conjunct")
+        self.conjuncts = tuple(flat)
+
+    def _free(self) -> list:
+        return [v for f in self.conjuncts for v in f._free()]
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({f})" for f in self.conjuncts)
+
+
+class Or(Formula):
+    """Disjunction (nested disjunctions are flattened)."""
+
+    def __init__(self, *disjuncts: Formula) -> None:
+        flat: list[Formula] = []
+        for disjunct in disjuncts:
+            if isinstance(disjunct, Or):
+                flat.extend(disjunct.disjuncts)
+            else:
+                flat.append(disjunct)
+        if not flat:
+            raise QueryError("Or() needs at least one disjunct")
+        self.disjuncts = tuple(flat)
+
+    def _free(self) -> list:
+        return [v for f in self.disjuncts for v in f._free()]
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({f})" for f in self.disjuncts)
+
+
+class Not(Formula):
+    """Negation; its free variables must be restricted elsewhere."""
+
+    def __init__(self, child: Formula) -> None:
+        self.child = child
+
+    def _free(self) -> list:
+        return self.child._free()
+
+    def __str__(self) -> str:
+        return f"¬({self.child})"
+
+
+class Implies(Formula):
+    """``antecedent → consequent`` — used under ∀."""
+
+    def __init__(self, antecedent: Formula, consequent: Formula) -> None:
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def _free(self) -> list:
+        return self.antecedent._free() + self.consequent._free()
+
+    def __str__(self) -> str:
+        return f"({self.antecedent}) → ({self.consequent})"
+
+
+class _Quantifier(Formula):
+    symbol = "?"
+
+    def __init__(self, variables, body: Formula) -> None:
+        if not isinstance(variables, (list, tuple)):
+            variables = [variables]
+        for variable in variables:
+            if not isinstance(variable, (DataVar, PathVar, AttVar)):
+                raise QueryError(
+                    f"cannot quantify over {variable!r}")
+        if not variables:
+            raise QueryError("quantifier needs at least one variable")
+        self.variables = tuple(variables)
+        self.body = body
+
+    def _free(self) -> list:
+        bound = set(self.variables)
+        return [v for v in self.body._free() if v not in bound]
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.variables)
+        return f"{self.symbol}{names}({self.body})"
+
+
+class Exists(_Quantifier):
+    """``∃ x̄ (φ)``."""
+
+    symbol = "∃"
+
+
+class Forall(_Quantifier):
+    """``∀ x̄ (range → condition)``."""
+
+    symbol = "∀"
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+class Query:
+    """``{x1, ..., xn | φ}`` — result is a set.
+
+    With one head variable the result is a set of its values; with
+    several, a set of ordered tuples with one attribute per variable
+    (named after the variable), matching Section 4.3's description of
+    path-expression results.
+    """
+
+    def __init__(self, head, formula: Formula) -> None:
+        if not isinstance(head, (list, tuple)):
+            head = [head]
+        if not head:
+            raise QueryError("query needs at least one head variable")
+        for variable in head:
+            if not isinstance(variable, (DataVar, PathVar, AttVar)):
+                raise QueryError(f"bad head variable {variable!r}")
+        self.head = tuple(head)
+        self.formula = formula
+        free = formula.free_variables()
+        missing = [v for v in self.head if v not in free]
+        if missing:
+            raise QueryError(
+                f"head variables {missing} do not occur in the formula")
+        extra = [v for v in free if v not in self.head]
+        if extra:
+            raise QueryError(
+                f"free variables {extra} are not in the query head; "
+                "quantify them explicitly")
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.head)
+        return f"{{{names} | {self.formula}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return str(self)

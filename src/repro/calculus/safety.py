@@ -1,0 +1,190 @@
+"""Range-restriction analysis (Section 5.2, "Range-Restriction").
+
+All variables in a formula must be range-restricted: a path or attribute
+variable when it occurs in a path from a persistence root or from an
+already-restricted variable; a data variable through path predicates,
+``X = ground`` equalities, or ``X ∈ ground`` memberships.
+
+:func:`check_safety` simulates the binding propagation statically (the
+same greedy strategy the evaluator uses) and raises
+:class:`~repro.errors.SafetyError` when some conjunct can never run or a
+head variable is never bound.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SafetyError
+from repro.calculus.formulas import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    In,
+    Not,
+    Or,
+    PathAtom,
+    Pred,
+    Query,
+    Subset,
+)
+from repro.calculus.terms import (
+    AttVar,
+    DataVar,
+    PathVar,
+    term_variables,
+)
+
+_VARS = (DataVar, PathVar, AttVar)
+
+
+def check_safety(query: Query) -> None:
+    """Raise :class:`SafetyError` unless the query is range-restricted."""
+    bound = _analyse(query.formula, frozenset())
+    unbound_head = [v for v in query.head if v not in bound]
+    if unbound_head:
+        raise SafetyError(
+            f"head variables {unbound_head} are not range-restricted")
+
+
+def _analyse(formula: Formula, bound: frozenset) -> frozenset:
+    """Variables guaranteed bound after satisfying ``formula``."""
+    if isinstance(formula, And):
+        return _analyse_and(list(formula.conjuncts), bound)
+    if isinstance(formula, Or):
+        results = [_analyse(d, bound) for d in formula.disjuncts]
+        merged = results[0]
+        for result in results[1:]:
+            merged &= result
+        return merged
+    if isinstance(formula, Not):
+        unbound = [v for v in formula.child.free_variables()
+                   if v not in bound]
+        if unbound:
+            raise SafetyError(
+                f"variables {unbound} under negation are not "
+                "range-restricted")
+        _analyse(formula.child, bound)
+        return bound
+    if isinstance(formula, Exists):
+        inner = _analyse(formula.body, bound)
+        missing = [v for v in formula.variables if v not in inner]
+        if missing:
+            raise SafetyError(
+                f"existential variables {missing} are not "
+                "range-restricted")
+        return inner - frozenset(formula.variables)
+    if isinstance(formula, Forall):
+        if not isinstance(formula.body, Implies):
+            raise SafetyError(
+                "∀ must quantify an implication "
+                "(Forall(vars, Implies(range, condition)))")
+        after_range = _analyse(formula.body.antecedent, bound)
+        missing = [v for v in formula.variables if v not in after_range]
+        if missing:
+            raise SafetyError(
+                f"universal variables {missing} are not restricted by "
+                "the antecedent")
+        unbound = [v for v in formula.body.consequent.free_variables()
+                   if v not in after_range]
+        if unbound:
+            raise SafetyError(
+                f"variables {unbound} in the ∀-consequent are not "
+                "range-restricted")
+        _analyse(formula.body.consequent, after_range)
+        return bound
+    if isinstance(formula, Implies):
+        raise SafetyError("implication is only allowed under ∀")
+    return _analyse_atom(formula, bound)
+
+
+def _analyse_and(conjuncts: list[Formula], bound: frozenset) -> frozenset:
+    pending = list(conjuncts)
+    current = bound
+    while pending:
+        for index, conjunct in enumerate(pending):
+            advanced = _try_atom(conjunct, current)
+            if advanced is not None:
+                current = advanced
+                del pending[index]
+                break
+        else:
+            raise SafetyError(
+                "conjunction is not range-restricted; stuck on: "
+                + "; ".join(str(c) for c in pending))
+    return current
+
+
+def _try_atom(formula: Formula, bound: frozenset) -> frozenset | None:
+    """The bound set after this conjunct, or None if it cannot run yet."""
+    try:
+        if isinstance(formula, (And, Or, Not, Exists, Forall, Implies)):
+            free = formula.free_variables()
+            if isinstance(formula, (And, Or, Exists)):
+                return _analyse(formula, bound)
+            if all(v in bound for v in free) or isinstance(
+                    formula, Forall):
+                return _analyse(formula, bound)
+            return None
+        return _analyse_atom(formula, bound, tentative=True)
+    except SafetyError:
+        return None
+
+
+def _analyse_atom(formula: Formula, bound: frozenset,
+                  tentative: bool = False) -> frozenset:
+    def fail(message: str) -> frozenset:
+        raise SafetyError(message)
+
+    if isinstance(formula, PathAtom):
+        root_vars = term_variables(formula.root)
+        unbound_root = [v for v in root_vars if v not in bound]
+        if unbound_root:
+            return fail(
+                f"path predicate {formula}: root variables "
+                f"{unbound_root} are not yet bound")
+        return bound | frozenset(formula.path.variables())
+    if isinstance(formula, Eq):
+        left_vars = [v for v in term_variables(formula.left)
+                     if v not in bound]
+        right_vars = [v for v in term_variables(formula.right)
+                      if v not in bound]
+        if not left_vars and not right_vars:
+            return bound
+        if (not left_vars and isinstance(formula.right, _VARS)
+                and right_vars == [formula.right]):
+            return bound | {formula.right}
+        if (not right_vars and isinstance(formula.left, _VARS)
+                and left_vars == [formula.left]):
+            return bound | {formula.left}
+        return fail(f"equality {formula} restricts no variable")
+    if isinstance(formula, In):
+        collection_vars = [v for v in term_variables(formula.collection)
+                           if v not in bound]
+        if collection_vars:
+            return fail(
+                f"membership {formula}: collection variables "
+                f"{collection_vars} are not yet bound")
+        element_vars = [v for v in term_variables(formula.element)
+                        if v not in bound]
+        if not element_vars:
+            return bound
+        if (isinstance(formula.element, _VARS)
+                and element_vars == [formula.element]):
+            return bound | {formula.element}
+        return fail(f"membership {formula}: element pattern unsupported")
+    if isinstance(formula, (Subset, Pred)):
+        if isinstance(formula, Subset):
+            variables = (term_variables(formula.left)
+                         + term_variables(formula.right))
+        else:
+            variables = [v for a in formula.arguments
+                         for v in term_variables(a)]
+        unbound = [v for v in variables if v not in bound]
+        if unbound:
+            return fail(
+                f"atom {formula}: variables {unbound} are not "
+                "range-restricted (interpreted atoms bind nothing)")
+        return bound
+    return fail(f"unknown atom {formula!r}")

@@ -1,0 +1,14 @@
+"""Corpora used by tests, examples and benchmarks.
+
+* :mod:`repro.corpus.article_dtd` — the Figure-1 DTD text,
+* :mod:`repro.corpus.sample_article` — the Figure-2 document instance,
+* :mod:`repro.corpus.generator` — deterministic synthetic article corpus,
+* :mod:`repro.corpus.letters` — the letters database of Sections 4.4/5.3,
+* :mod:`repro.corpus.knuth` — the Knuth_Books database of Section 5.
+"""
+
+from repro.corpus.article_dtd import ARTICLE_DTD, article_dtd
+from repro.corpus.sample_article import SAMPLE_ARTICLE, sample_article_tree
+
+__all__ = ["ARTICLE_DTD", "SAMPLE_ARTICLE", "article_dtd",
+           "sample_article_tree"]

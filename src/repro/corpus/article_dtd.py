@@ -1,0 +1,45 @@
+"""The article DTD of Figure 1, verbatim (modulo the paper's two typos).
+
+The paper's figure declares ``author`` twice (lines 5-6, an obvious
+duplication artifact) and omits an ``affil`` declaration even though the
+``article`` content model requires one; we keep one ``author`` declaration
+and declare ``affil`` like the other #PCDATA elements.  Line 16's
+``NDATA >`` (missing notation name) is preserved — the DTD parser
+tolerates it.  Line 18 declares ``reflabel IDREF #REQUIRED`` but the
+paper's own Figure-2 instance has paragraphs without it, so we relax it
+to ``#IMPLIED`` to keep the two figures mutually consistent.
+"""
+
+from __future__ import annotations
+
+from repro.sgml.dtd import Dtd
+from repro.sgml.dtd_parser import parse_dtd
+
+ARTICLE_DTD = """\
+<!DOCTYPE article [
+<!ELEMENT article - -  (title, author+, affil, abstract, section+, acknowl)>
+<!ATTLIST article      status (final | draft) draft>
+<!ELEMENT title   - O  (#PCDATA)>
+<!ELEMENT author  - O  (#PCDATA)>
+<!ELEMENT affil   - O  (#PCDATA)>
+<!ELEMENT abstract - O (#PCDATA)>
+<!ELEMENT section - O  ((title, body+) | (title, body*, subsectn+))>
+<!ELEMENT subsectn - O (title, body+)>
+<!ELEMENT body    - O  (figure | paragr)>
+<!ELEMENT figure  - O  (picture, caption?)>
+<!ATTLIST figure       label ID #IMPLIED>
+<!ELEMENT picture - O  EMPTY>
+<!ATTLIST picture      sizex NMTOKEN "16cm"
+                       sizey NMTOKEN #IMPLIED
+                       file ENTITY #IMPLIED>
+<!ELEMENT caption O O  (#PCDATA)>
+<!ENTITY fig1 SYSTEM "/u/christop/SGML/image1" NDATA >
+<!ELEMENT paragr  - O  (#PCDATA)>
+<!ATTLIST paragr       reflabel IDREF #IMPLIED>
+<!ELEMENT acknowl - O  (#PCDATA)> ]>
+"""
+
+
+def article_dtd() -> Dtd:
+    """Parse and return the Figure-1 DTD."""
+    return parse_dtd(ARTICLE_DTD)

@@ -1,0 +1,94 @@
+"""The ``Knuth_Books`` database of Section 5.
+
+The paper's worked examples navigate from a persistent root
+``Knuth_Books`` through volumes and chapters::
+
+    Knuth_Books P ·volumes[2] Q ·chapters[3] (X)
+
+We build a small library: a Books root holding a tuple with a ``volumes``
+list; each volume has ``title``, ``chapters`` and ``status``; chapters
+have ``title``, ``sections`` (a *set*, so the ``·sections{X}`` example
+works), ``review`` and ``author`` fields.  The data includes "Jo" in an
+author attribute (for the "In which attribute can Jo be found?" example)
+and a ``status`` attribute (for ``P ·status(X)``).
+"""
+
+from __future__ import annotations
+
+from repro.oodb.instance import Instance
+from repro.oodb.schema import Schema, schema_from_classes
+from repro.oodb.types import STRING, c, list_of, set_of, tuple_of
+from repro.oodb.values import ListValue, SetValue, TupleValue
+
+
+def knuth_schema() -> Schema:
+    """The schema behind the Knuth_Books root."""
+    classes = {
+        "Volume": tuple_of(
+            ("title", STRING),
+            ("chapters", list_of(c("Chapter"))),
+            ("status", STRING)),
+        "Chapter": tuple_of(
+            ("title", STRING),
+            ("sections", set_of(tuple_of(
+                ("title", STRING), ("body", STRING)))),
+            ("review", set_of(STRING)),
+            ("author", STRING)),
+    }
+    roots = {"Knuth_Books": tuple_of(
+        ("series", STRING),
+        ("volumes", list_of(c("Volume"))))}
+    return schema_from_classes(classes, roots=roots)
+
+
+def build_knuth_database() -> Instance:
+    """The populated instance; deterministic content."""
+    db = Instance(knuth_schema())
+
+    def chapter(title: str, author: str, reviewers: list[str],
+                sections: list[tuple[str, str]]):
+        return db.new_object("Chapter", TupleValue([
+            ("title", title),
+            ("sections", SetValue(
+                TupleValue([("title", s_title), ("body", s_body)])
+                for s_title, s_body in sections)),
+            ("review", SetValue(reviewers)),
+            ("author", author)]))
+
+    def volume(title: str, status: str, chapters: list):
+        return db.new_object("Volume", TupleValue([
+            ("title", title),
+            ("chapters", ListValue(chapters)),
+            ("status", status)]))
+
+    volume1 = volume(
+        "Fundamental Algorithms", "final",
+        [chapter("Basic Concepts", "Knuth", ["D. Scott"],
+                 [("Algorithms", "An algorithm is a finite type of rule"),
+                  ("Mathematical Preliminaries",
+                   "Induction and asymptotic notation")]),
+         chapter("Information Structures", "Knuth", [],
+                 [("Linear Lists", "Stacks queues and deques"),
+                  ("Trees", "Traversal of binary trees")])])
+    volume2 = volume(
+        "Seminumerical Algorithms", "final",
+        [chapter("Random Numbers", "Knuth", ["D. Scott"],
+                 [("Generating Uniform Random Numbers",
+                   "The linear congruential method"),
+                  ("Statistical Tests", "Chi-square and spectral tests")]),
+         chapter("Arithmetic", "Jo", [],
+                 [("Positional Number Systems", "Radix representations"),
+                  ("Floating Point Arithmetic",
+                   "Accuracy of floating point type operations"),
+                  ("Introduction", "The type of arithmetic we study")])])
+    volume3 = volume(
+        "Sorting and Searching", "draft",
+        [chapter("Sorting", "Knuth", ["J. Doe", "D. Scott"],
+                 [("Internal Sorting", "Quicksort heapsort and merging"),
+                  ("Optimum Sorting", "Minimum comparison sorting")])])
+
+    db.set_root("Knuth_Books", TupleValue([
+        ("series", "The Art of Computer Programming"),
+        ("volumes", ListValue([volume1, volume2, volume3]))]))
+    db.check()
+    return db

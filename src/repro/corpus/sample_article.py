@@ -1,0 +1,45 @@
+"""The document instance of Figure 2.
+
+The figure exercises the tag-omission machinery: ``<author>`` elements,
+abstracts, titles and paragraphs never close explicitly, and the figure's
+ellipses are filled in with an ``affil`` and an ``acknowl`` so the
+instance is valid against the Figure-1 DTD.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.article_dtd import article_dtd
+from repro.sgml.instance import Element
+from repro.sgml.instance_parser import parse_document
+
+SAMPLE_ARTICLE = """\
+<article status="final">
+<title> From Structured Documents to Novel Query Facilities
+<author> V. Christophides
+<author> S. Abiteboul
+<author> S. Cluet
+<author> M. Scholl
+<affil> I.N.R.I.A.
+<abstract> Structured documents (e.g., SGML) can benefit a lot from
+database support and more specifically from object-oriented database
+(OODB) management systems...
+<section>
+  <title> Introduction
+  <body><paragr> This paper is organized as follows. Section 2 introduces
+  the SGML standard. The mapping from SGML to the O2 DBMS is defined in
+  Section 3. Section 4 presents the extension ...
+  </body></section>
+<section>
+  <title> SGML preliminaries
+  <body><paragr> In this section, we present the main features of SGML.
+  (A general presentation is clearly beyond the scope of this paper.)
+  </body></section>
+<acknowl> We are grateful to O2 Technology, Euroclid and AIS
+Berger-Levrault for their technical support during this project.
+</article>
+"""
+
+
+def sample_article_tree() -> Element:
+    """Parse Figure 2 against the Figure-1 DTD."""
+    return parse_document(SAMPLE_ARTICLE, article_dtd())

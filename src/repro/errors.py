@@ -1,0 +1,165 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+subsystems of the paper reproduction:
+
+* SGML parsing / validation errors (:class:`SgmlError` and children),
+* data-model and typing errors (:class:`ModelError` and children),
+* query-language errors (:class:`QueryError` and children).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# SGML subsystem
+# ---------------------------------------------------------------------------
+
+
+class SgmlError(ReproError):
+    """Base class for SGML lexing, parsing and validation problems."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}" + (
+                f", column {column})" if column is not None else ")")
+        super().__init__(message)
+
+
+class DtdSyntaxError(SgmlError):
+    """The DTD text could not be parsed."""
+
+
+class ContentModelError(SgmlError):
+    """A content model expression is malformed or ambiguous."""
+
+
+class DocumentSyntaxError(SgmlError):
+    """The document instance text could not be parsed."""
+
+
+class ValidationError(SgmlError):
+    """A document instance does not conform to its DTD."""
+
+
+class EntityError(SgmlError):
+    """An entity reference could not be resolved."""
+
+
+# ---------------------------------------------------------------------------
+# Data model subsystem
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for data-model problems (types, values, schemas)."""
+
+
+class TypeConstructionError(ModelError):
+    """A type expression is malformed (e.g. duplicate tuple attributes)."""
+
+
+class SubtypingError(ModelError):
+    """Two types have no common supertype where one is required."""
+
+
+class ValueError_(ModelError):
+    """A value is malformed or does not belong to the expected domain.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`ValueError`; exported as ``ModelValueError`` from the package
+    root.
+    """
+
+
+class SchemaError(ModelError):
+    """A schema is ill-formed (bad hierarchy, unknown class, bad root)."""
+
+
+class InstanceError(ModelError):
+    """An instance violates its schema (bad oid, wrongly typed value)."""
+
+
+class ConstraintViolation(ModelError):
+    """A Figure-3-style constraint does not hold on a value."""
+
+    def __init__(self, message: str, class_name: str | None = None) -> None:
+        self.class_name = class_name
+        if class_name is not None:
+            message = f"[{class_name}] {message}"
+        super().__init__(message)
+
+
+class StoreError(ModelError):
+    """The object store failed (unknown oid, corrupt snapshot...)."""
+
+
+class MappingError(ModelError):
+    """The DTD -> schema or document -> instance mapping failed."""
+
+
+# ---------------------------------------------------------------------------
+# Query subsystem
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-language problems."""
+
+
+class QuerySyntaxError(QueryError):
+    """The O2SQL text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}" + (
+                f", column {column})" if column is not None else ")")
+        super().__init__(message)
+
+
+class QueryTypeError(QueryError):
+    """Static type checking of a query failed.
+
+    Raised, for instance, when no alternative of a union type carries a
+    requested attribute (Section 5.3: "if no alternative of the type union
+    has an attribute review, this leads to a type error").
+    """
+
+
+class SafetyError(QueryError):
+    """A calculus formula is not range-restricted (Section 5.2)."""
+
+
+class EvaluationError(QueryError):
+    """Runtime failure during query evaluation."""
+
+
+class WrongBranchAccess(QueryError):
+    """A *named instance* (persistent root) was accessed through the
+    wrong union branch.
+
+    Implicit selectors apply only to variables (Section 4.2): for a
+    named instance such as ``my_section``, ``my_section.subsectns`` on an
+    ``a1``-marked section "will return a type error detected at execution
+    time".  Deliberately *not* an :class:`EvaluationError` so the
+    wrong-branch-is-false convention for variables does not swallow it.
+    """
+
+
+class PatternError(QueryError):
+    """A ``contains`` pattern expression is malformed."""
+
+
+class CompilationError(QueryError):
+    """Calculus -> algebra compilation failed (Section 5.4)."""

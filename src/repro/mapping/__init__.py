@@ -1,0 +1,28 @@
+"""The SGML → OODB mapping (Section 3).
+
+* :mod:`repro.mapping.dtd_to_schema` — compile a DTD into an O₂-style
+  schema with constraints (regenerates Figure 3 from Figure 1),
+* :mod:`repro.mapping.loader` — load parsed document instances as
+  database objects (the "semantic actions" of the paper's annotated
+  grammar),
+* :mod:`repro.mapping.text_inverse` — the system-supplied ``text()``
+  operator mapping a logical object back to its textual content,
+* :mod:`repro.mapping.naming` — class/field naming conventions and
+  system-supplied markers.
+"""
+
+from repro.mapping.dtd_to_schema import MappedSchema, map_dtd
+from repro.mapping.inverse import (
+    export_document,
+    schema_to_dtd,
+    value_to_element,
+)
+from repro.mapping.loader import DocumentLoader, load_document
+from repro.mapping.naming import class_name_for, plural_field_name
+from repro.mapping.text_inverse import text_of
+
+__all__ = [
+    "DocumentLoader", "MappedSchema", "class_name_for",
+    "export_document", "load_document", "map_dtd", "plural_field_name",
+    "schema_to_dtd", "text_of", "value_to_element",
+]

@@ -1,0 +1,52 @@
+"""Naming conventions of the DTD → schema mapping.
+
+Figure 3 derives class names by capitalising element names
+(``subsectn`` → ``Subsectn``), pluralises repeated components
+(``author+`` → ``authors``, ``body+`` → ``bodies``) and supplies marker
+names ``a1, a2, ...`` for unnamed alternatives ("For unnamed SGML
+elements defined through nested parentheses, system supplied names are
+provided").
+"""
+
+from __future__ import annotations
+
+#: The attribute holding character data in #PCDATA-bearing classes.
+TEXT_FIELD = "text"
+
+#: The base class of textual content classes (Figure 3's ``Text``).
+TEXT_CLASS = "Text"
+
+#: The base class of external/binary content classes (Figure 3's
+#: ``Bitmap``, inherited by ``Picture``).
+BITMAP_CLASS = "Bitmap"
+
+_VOWELS = "aeiou"
+
+
+def class_name_for(element_name: str) -> str:
+    """``article`` → ``Article``; already-capitalised names unchanged."""
+    if not element_name:
+        return element_name
+    return element_name[0].upper() + element_name[1:]
+
+
+def plural_field_name(element_name: str) -> str:
+    """``author`` → ``authors``, ``body`` → ``bodies``."""
+    if (len(element_name) >= 2 and element_name.endswith("y")
+            and element_name[-2] not in _VOWELS):
+        return element_name[:-1] + "ies"
+    if element_name.endswith(("s", "x", "z", "ch", "sh")):
+        return element_name + "es"
+    return element_name + "s"
+
+
+class MarkerSupply:
+    """Deterministic supply of system marker names ``a1, a2, ...``."""
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def fresh(self) -> str:
+        name = f"a{self._next}"
+        self._next += 1
+        return name

@@ -1,0 +1,51 @@
+"""The system-supplied ``text()`` operator (Section 4.2 / [ref 5]).
+
+Q2 evaluates ``contains`` "not over individual data objects but over
+complex logical objects"; ``text()`` performs the inverse mapping from a
+logical object (or any value) back to the corresponding portion of text.
+
+Two strategies are available:
+
+* **provenance** — when the value is an object the loader created, its
+  source SGML subtree is re-serialised (exact inverse mapping);
+* **structural** — otherwise the value tree is walked, concatenating
+  every string encountered (dereferencing objects, at most once each, so
+  cyclic cross references terminate).
+"""
+
+from __future__ import annotations
+
+from repro.oodb.values import ListValue, Nil, Oid, SetValue, TupleValue
+
+
+def text_of(value: object, instance=None, provenance=None) -> str:
+    """The textual content of a value/logical object.
+
+    ``provenance`` is the loader's ``oid number -> source Element`` map;
+    when it covers the value, the original document text is returned.
+    """
+    if (provenance is not None and isinstance(value, Oid)
+            and value.number in provenance):
+        return provenance[value.number].text_content()
+    pieces: list[str] = []
+    _collect(value, instance, set(), pieces)
+    return " ".join(piece for piece in pieces if piece)
+
+
+def _collect(value: object, instance, visited: set[int],
+             pieces: list[str]) -> None:
+    if isinstance(value, str):
+        pieces.append(value)
+    elif isinstance(value, (int, float, bool, Nil)):
+        return
+    elif isinstance(value, Oid):
+        if instance is None or value.number in visited:
+            return
+        visited.add(value.number)
+        _collect(instance.deref(value), instance, visited, pieces)
+    elif isinstance(value, TupleValue):
+        for _, field in value.fields:
+            _collect(field, instance, visited, pieces)
+    elif isinstance(value, (ListValue, SetValue)):
+        for element in value:
+            _collect(element, instance, visited, pieces)

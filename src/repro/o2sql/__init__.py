@@ -1,0 +1,45 @@
+"""The extended O₂SQL query language (Section 4).
+
+The concrete syntax follows the paper's examples:
+
+* ``select ... from ... where ...`` with variables ranging over
+  collections (``a in Articles``) — Q1/Q2;
+* path expressions with ``PATH_`` and ``ATT_`` variables
+  (``my_article PATH_p.title(t)``) and the ``..`` sugar — Q3/Q5;
+* ``contains`` with boolean pattern expressions and ``near`` — Q1/Q5;
+* set operations on queries (``-`` difference) — Q4;
+* positional from-items over ordered tuples (``letter[i].from``) — Q6.
+
+Pipeline: :func:`parse` → :func:`~repro.o2sql.translate.to_calculus` →
+safety check → type inference → evaluation (calculus interpreter or the
+Section 5.4 algebra via :class:`~repro.o2sql.engine.QueryEngine`).
+"""
+
+from repro.o2sql.ast import (
+    BinOp,
+    BoolOp,
+    Call,
+    ContainsOp,
+    FieldSel,
+    FromPath,
+    FromRange,
+    Ident,
+    IndexSel,
+    Literal,
+    NotOp,
+    PatternLit,
+    PathExpr,
+    SelectQuery,
+    TupleExpr,
+)
+from repro.o2sql.engine import QueryEngine
+from repro.o2sql.lexer import tokenize_query
+from repro.o2sql.parser import parse
+from repro.o2sql.translate import to_calculus
+
+__all__ = [
+    "BinOp", "BoolOp", "Call", "ContainsOp", "FieldSel", "FromPath",
+    "FromRange", "Ident", "IndexSel", "Literal", "NotOp", "PathExpr",
+    "PatternLit", "QueryEngine", "SelectQuery", "TupleExpr", "parse",
+    "to_calculus", "tokenize_query",
+]

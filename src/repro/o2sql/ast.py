@@ -1,0 +1,305 @@
+"""Abstract syntax of the extended O₂SQL (Section 4)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Node:
+    """Base class of surface-syntax AST nodes."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.__dict__ == self.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, str(self)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return str(self)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Ident(Node):
+    """A bare identifier — a query variable or a persistence root."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Literal(Node):
+    """A constant: string, number, boolean or nil."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class PatternLit(Node):
+    """A ``contains`` pattern expression (boolean combination)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def __str__(self) -> str:
+        return f"pattern({self.source!r})"
+
+
+class FieldSel(Node):
+    """``e.attr`` — also covers ``e.ATT_x`` via ``attvar=True``."""
+
+    def __init__(self, base, name: str, attvar: bool = False) -> None:
+        self.base = base
+        self.name = name
+        self.attvar = attvar
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.name}"
+
+
+class IndexSel(Node):
+    """``e[i]`` where ``i`` is an expression (int literal or variable)."""
+
+    def __init__(self, base, index) -> None:
+        self.base = base
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+class Call(Node):
+    """``f(args)`` — interpreted functions (first, text, length...)."""
+
+    def __init__(self, function: str, arguments: Iterable) -> None:
+        self.function = function
+        self.arguments = tuple(arguments)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.arguments)
+        return f"{self.function}({inner})"
+
+
+class TupleExpr(Node):
+    """``tuple (t: e1, f: e2)``."""
+
+    def __init__(self, fields: Iterable[tuple[str, object]]) -> None:
+        self.fields = tuple(fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {e}" for n, e in self.fields)
+        return f"tuple({inner})"
+
+
+class CollectionExpr(Node):
+    """``list(e1, e2)`` / ``set(e1, e2)``."""
+
+    def __init__(self, kind: str, items: Iterable) -> None:
+        self.kind = kind          # "list" | "set"
+        self.items = tuple(items)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.items)
+        return f"{self.kind}({inner})"
+
+
+class BinOp(Node):
+    """Comparisons, arithmetic-free: = != < <= > >= - union intersect in."""
+
+    def __init__(self, op: str, left, right) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class BoolOp(Node):
+    """``and`` / ``or`` over conditions."""
+
+    def __init__(self, op: str, operands: Iterable) -> None:
+        self.op = op              # "and" | "or"
+        self.operands = tuple(operands)
+
+    def __str__(self) -> str:
+        return (" " + self.op + " ").join(f"({o})" for o in self.operands)
+
+
+class NotOp(Node):
+    """``not`` over a condition."""
+
+    def __init__(self, operand) -> None:
+        self.operand = operand
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+class ContainsOp(Node):
+    """``e contains <pattern-expr>``."""
+
+    def __init__(self, operand, pattern: PatternLit) -> None:
+        self.operand = operand
+        self.pattern = pattern
+
+    def __str__(self) -> str:
+        return f"({self.operand} contains {self.pattern})"
+
+
+class ExistsOp(Node):
+    """``exists (subquery)``."""
+
+    def __init__(self, query: "SelectQuery") -> None:
+        self.query = query
+
+    def __str__(self) -> str:
+        return f"exists({self.query})"
+
+
+# ---------------------------------------------------------------------------
+# Path expressions (Section 4.3)
+# ---------------------------------------------------------------------------
+
+
+class PComp(Node):
+    """Base of surface path components."""
+
+
+class PVar(PComp):
+    """``PATH_p``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class PAnon(PComp):
+    """``..`` — an anonymous path variable (Section 4.3 sugar)."""
+
+    def __str__(self) -> str:
+        return ".."
+
+
+class PAttr(PComp):
+    """``.attr``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return f".{self.name}"
+
+
+class PAttVar(PComp):
+    """``.ATT_a``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return f".{self.name}"
+
+
+class PIndex(PComp):
+    """``[3]`` or ``[i]``."""
+
+    def __init__(self, index) -> None:
+        self.index = index        # int or str (variable name)
+
+    def __str__(self) -> str:
+        return f"[{self.index}]"
+
+
+class PDeref(PComp):
+    """``->``."""
+
+    def __str__(self) -> str:
+        return "->"
+
+
+class PBind(PComp):
+    """``(t)`` — bind the reached value to a data variable."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"({self.name})"
+
+
+class PSetBind(PComp):
+    """``{x}`` — bind a set element."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"{{{self.name}}}"
+
+
+class PathExpr(Node):
+    """``root PATH_p.title(t)`` — a path expression over a root
+    expression.  Usable as a from-item, or as a bare query denoting the
+    set of path values (Q4)."""
+
+    def __init__(self, root, components: Iterable[PComp]) -> None:
+        self.root = root
+        self.components = tuple(components)
+
+    def __str__(self) -> str:
+        return f"{self.root} " + "".join(
+            str(component) for component in self.components)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+class FromRange(Node):
+    """``x in <collection expr>``."""
+
+    def __init__(self, variable: str, collection) -> None:
+        self.variable = variable
+        self.collection = collection
+
+    def __str__(self) -> str:
+        return f"{self.variable} in {self.collection}"
+
+
+class FromPath(Node):
+    """A path expression used as a from-item."""
+
+    def __init__(self, path: PathExpr) -> None:
+        self.path = path
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+class SelectQuery(Node):
+    """``select e1, e2 from ... where ...``."""
+
+    def __init__(self, select: Iterable, from_items: Iterable,
+                 where=None) -> None:
+        self.select = tuple(select)
+        self.from_items = tuple(from_items)
+        self.where = where
+
+    def __str__(self) -> str:
+        text = "select " + ", ".join(str(e) for e in self.select)
+        text += " from " + ", ".join(str(f) for f in self.from_items)
+        if self.where is not None:
+            text += f" where {self.where}"
+        return text

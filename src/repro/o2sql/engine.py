@@ -1,0 +1,69 @@
+"""The end-to-end O₂SQL engine.
+
+``QueryEngine`` wires the pipeline together: parse → translate to the
+calculus → static safety check → (optional) type inference against the
+schema → evaluation, either with the calculus interpreter or with a
+compiled algebra plan (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.calculus.evaluator import EvalContext, evaluate_query
+from repro.calculus.inference import infer_types
+from repro.calculus.safety import check_safety
+from repro.o2sql.parser import parse
+from repro.o2sql.translate import to_calculus
+from repro.oodb.instance import Instance
+from repro.oodb.values import SetValue
+
+
+class QueryEngine:
+    """Run O₂SQL text against a database instance.
+
+    ``provenance`` (the loader's oid → source element map) enables the
+    exact ``text()`` inverse mapping for ``contains`` over logical
+    objects; without it the structural fallback is used.
+    """
+
+    def __init__(self, instance: Instance, provenance: dict | None = None,
+                 path_semantics: str = "restricted",
+                 type_check: bool = True,
+                 backend: str = "calculus") -> None:
+        self.instance = instance
+        self.ctx = EvalContext(instance, provenance=provenance,
+                               path_semantics=path_semantics)
+        self.type_check = type_check
+        self.backend = backend
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def parse(self, text: str):
+        return parse(text)
+
+    def translate(self, text: str):
+        """Parse + translate; returns the calculus query."""
+        node = self.parse(text)
+        return to_calculus(node, self.instance.schema.roots.keys())
+
+    def check(self, text: str) -> dict:
+        """Static checks only; returns the inferred variable types."""
+        query = self.translate(text)
+        check_safety(query)
+        return infer_types(query, self.instance.schema)
+
+    def run(self, text: str) -> SetValue:
+        """The full pipeline; the result is always a set."""
+        query = self.translate(text)
+        check_safety(query)
+        if self.type_check:
+            infer_types(query, self.instance.schema)
+        if self.backend == "algebra":
+            from repro.algebra.compile import compile_query
+            from repro.algebra.execute import execute_plan
+            plan = compile_query(query, self.instance.schema, self.ctx)
+            return execute_plan(plan, self.ctx)
+        return evaluate_query(query, self.ctx)
+
+    def explain(self, text: str) -> str:
+        """The calculus form of the query (one line)."""
+        return str(self.translate(text))

@@ -1,0 +1,123 @@
+"""Lexer for the extended O₂SQL surface syntax."""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "in", "tuple", "list", "set", "and", "or",
+    "not", "contains", "near", "union", "intersect", "exists", "nil",
+    "true", "false", "element",
+})
+
+# Token kinds
+IDENT = "IDENT"
+PATHVAR = "PATHVAR"    # PATH_x
+ATTVAR = "ATTVAR"      # ATT_x
+KEYWORD = "KEYWORD"
+STRING = "STRING"
+INT = "INT"
+FLOAT = "FLOAT"
+PUNCT = "PUNCT"
+END = "END"
+
+_PUNCT_TWO = ("..", "<=", ">=", "!=", "->")
+_PUNCT_ONE = ".[](){},:=<>-+*"
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value: str, line: int,
+                 column: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value!r})"
+
+
+def tokenize_query(text: str) -> list[Token]:
+    """Tokenize O₂SQL text; the final token has kind END."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # line comment
+            end = text.find("\n", i)
+            i = length if end < 0 else end
+            continue
+        start_column = column
+        if ch in "\"'":
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise QuerySyntaxError(
+                    "unterminated string literal", line, start_column)
+            value = text[i + 1:end]
+            tokens.append(Token(STRING, value, line, start_column))
+            column += end + 1 - i
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and text[j].isdigit():
+                j += 1
+            if j < length and text[j] == "." and j + 1 < length \
+                    and text[j + 1].isdigit():
+                j += 1
+                while j < length and text[j].isdigit():
+                    j += 1
+                tokens.append(Token(FLOAT, text[i:j], line, start_column))
+            else:
+                tokens.append(Token(INT, text[i:j], line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.startswith("PATH_"):
+                tokens.append(Token(PATHVAR, word, line, start_column))
+            elif word.startswith("ATT_"):
+                tokens.append(Token(ATTVAR, word, line, start_column))
+            elif word.lower() in KEYWORDS:
+                tokens.append(
+                    Token(KEYWORD, word.lower(), line, start_column))
+            else:
+                tokens.append(Token(IDENT, word, line, start_column))
+            column += j - i
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token(PUNCT, two, line, start_column))
+            i += 2
+            column += 2
+            continue
+        if ch in _PUNCT_ONE:
+            tokens.append(Token(PUNCT, ch, line, start_column))
+            i += 1
+            column += 1
+            continue
+        raise QuerySyntaxError(
+            f"unexpected character {ch!r}", line, start_column)
+    tokens.append(Token(END, "", line, column))
+    return tokens

@@ -1,0 +1,404 @@
+"""Recursive-descent parser for the extended O₂SQL syntax."""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.o2sql.ast import (
+    BinOp,
+    BoolOp,
+    Call,
+    CollectionExpr,
+    ContainsOp,
+    ExistsOp,
+    FieldSel,
+    FromPath,
+    FromRange,
+    Ident,
+    IndexSel,
+    Literal,
+    NotOp,
+    PAnon,
+    PAttVar,
+    PAttr,
+    PBind,
+    PDeref,
+    PIndex,
+    PSetBind,
+    PVar,
+    PathExpr,
+    PatternLit,
+    SelectQuery,
+    TupleExpr,
+)
+from repro.o2sql.lexer import (
+    ATTVAR,
+    END,
+    FLOAT,
+    IDENT,
+    INT,
+    KEYWORD,
+    PATHVAR,
+    PUNCT,
+    STRING,
+    Token,
+    tokenize_query,
+)
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+_SET_OPS = ("-", "union", "intersect")
+
+
+def parse(text: str):
+    """Parse query text into a :class:`SelectQuery` or an expression."""
+    parser = _Parser(tokenize_query(text))
+    node = parser.query()
+    parser.expect_end()
+    return node
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != END:
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None
+                                       or token.value == value)
+
+    def eat(self, kind: str, value: str | None = None) -> Token | None:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            wanted = value if value is not None else kind
+            raise QuerySyntaxError(
+                f"expected {wanted!r}, found {token.value!r}",
+                token.line, token.column)
+        return self.advance()
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token.kind != END:
+            raise QuerySyntaxError(
+                f"trailing input starting at {token.value!r}",
+                token.line, token.column)
+
+    def error(self, message: str) -> QuerySyntaxError:
+        token = self.peek()
+        return QuerySyntaxError(message, token.line, token.column)
+
+    # -- entry points -----------------------------------------------------------
+
+    def query(self):
+        if self.at(KEYWORD, "select"):
+            return self.select_query()
+        return self.condition()
+
+    def select_query(self) -> SelectQuery:
+        self.expect(KEYWORD, "select")
+        select = [self.expression()]
+        while self.eat(PUNCT, ","):
+            select.append(self.expression())
+        self.expect(KEYWORD, "from")
+        from_items = [self.from_item()]
+        while self.eat(PUNCT, ","):
+            from_items.append(self.from_item())
+        where = None
+        if self.eat(KEYWORD, "where"):
+            where = self.condition()
+        return SelectQuery(select, from_items, where)
+
+    def from_item(self):
+        token = self.expect(IDENT)
+        if self.eat(KEYWORD, "in"):
+            return FromRange(token.value, self.expression())
+        components = self.path_components(require=True)
+        return FromPath(PathExpr(Ident(token.value), components))
+
+    # -- path components ------------------------------------------------------------
+
+    def path_components(self, require: bool) -> list:
+        components: list = []
+        while True:
+            if self.at(PATHVAR):
+                components.append(PVar(self.advance().value))
+            elif self.at(PUNCT, ".."):
+                self.advance()
+                components.append(PAnon())
+            elif self.at(PUNCT, "->"):
+                self.advance()
+                components.append(PDeref())
+            elif self.at(PUNCT, "."):
+                self.advance()
+                if self.at(ATTVAR):
+                    components.append(PAttVar(self.advance().value))
+                elif self.at(IDENT) or self.at(KEYWORD):
+                    components.append(PAttr(self.advance().value))
+                else:
+                    raise self.error("expected an attribute after '.'")
+            elif self.at(PUNCT, "["):
+                self.advance()
+                if self.at(INT):
+                    components.append(
+                        PIndex(int(self.advance().value)))
+                elif self.at(IDENT):
+                    components.append(PIndex(self.advance().value))
+                else:
+                    raise self.error("expected an index inside '[ ]'")
+                self.expect(PUNCT, "]")
+            elif self.at(PUNCT, "(") and self._looks_like_bind():
+                self.advance()
+                components.append(PBind(self.expect(IDENT).value))
+                self.expect(PUNCT, ")")
+            elif self.at(PUNCT, "{"):
+                self.advance()
+                components.append(PSetBind(self.expect(IDENT).value))
+                self.expect(PUNCT, "}")
+            else:
+                break
+        if require and not components:
+            raise self.error(
+                "expected a path expression (PATH_ variable, '..', '.', "
+                "'[', '(' or '{')")
+        return components
+
+    def _looks_like_bind(self) -> bool:
+        """``(x)`` with a bare identifier is a value binding."""
+        return (self.tokens[self.pos + 1].kind == IDENT
+                and self.tokens[self.pos + 2].kind == PUNCT
+                and self.tokens[self.pos + 2].value == ")")
+
+    # -- conditions -------------------------------------------------------------------
+
+    def condition(self):
+        return self.or_condition()
+
+    def or_condition(self):
+        operands = [self.and_condition()]
+        while self.eat(KEYWORD, "or"):
+            operands.append(self.and_condition())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", operands)
+
+    def and_condition(self):
+        operands = [self.not_condition()]
+        while self.eat(KEYWORD, "and"):
+            operands.append(self.not_condition())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", operands)
+
+    def not_condition(self):
+        if self.eat(KEYWORD, "not"):
+            return NotOp(self.not_condition())
+        return self.comparison()
+
+    def comparison(self):
+        left = self.expression()
+        if self.at(KEYWORD, "contains"):
+            self.advance()
+            return ContainsOp(left, self.pattern_literal())
+        for op in _COMPARISONS:
+            if self.at(PUNCT, op):
+                self.advance()
+                return BinOp(op, left, self.expression())
+        if self.at(KEYWORD, "in"):
+            self.advance()
+            return BinOp("in", left, self.expression())
+        return left
+
+    def pattern_literal(self) -> PatternLit:
+        """The pattern after ``contains`` — re-serialized for the text
+        module's own parser."""
+        if self.at(STRING):
+            return PatternLit(f'"{self.advance().value}"')
+        if self.at(PUNCT, "("):
+            pieces: list[str] = []
+            depth = 0
+            while True:
+                token = self.peek()
+                if token.kind == END:
+                    raise self.error("unterminated pattern expression")
+                if token.kind == PUNCT and token.value == "(":
+                    depth += 1
+                    pieces.append("(")
+                elif token.kind == PUNCT and token.value == ")":
+                    depth -= 1
+                    pieces.append(")")
+                elif token.kind == STRING:
+                    pieces.append(f'"{token.value}"')
+                elif token.kind == KEYWORD and token.value in (
+                        "and", "or", "not"):
+                    pieces.append(token.value)
+                else:
+                    raise self.error(
+                        f"unexpected {token.value!r} in pattern "
+                        "expression")
+                self.advance()
+                if depth == 0:
+                    break
+            return PatternLit(" ".join(pieces))
+        raise self.error("expected a pattern after 'contains'")
+
+    # -- expressions -------------------------------------------------------------------
+
+    def expression(self):
+        left = self.postfix()
+        # trailing path components turn the expression into a PathExpr
+        if self.at(PATHVAR) or self.at(PUNCT, ".."):
+            components = self.path_components(require=True)
+            left = PathExpr(left, components)
+        while True:
+            if self.at(PUNCT, "-"):
+                self.advance()
+                left = BinOp("-", left, self.expression())
+            elif self.at(KEYWORD, "union"):
+                self.advance()
+                left = BinOp("union", left, self.expression())
+            elif self.at(KEYWORD, "intersect"):
+                self.advance()
+                left = BinOp("intersect", left, self.expression())
+            else:
+                return left
+
+    def postfix(self):
+        node = self.primary()
+        while True:
+            if self.at(PUNCT, "."):
+                # Stop before '..' (handled as a path component).
+                self.advance()
+                if self.at(ATTVAR):
+                    token = self.advance()
+                    node = FieldSel(node, token.value, attvar=True)
+                elif self.at(IDENT) or self.at(KEYWORD):
+                    node = FieldSel(node, self.advance().value)
+                else:
+                    raise self.error("expected an attribute after '.'")
+            elif self.at(PUNCT, "["):
+                self.advance()
+                if self.at(INT):
+                    index: object = int(self.advance().value)
+                elif self.at(IDENT):
+                    index = Ident(self.advance().value)
+                else:
+                    raise self.error("expected an index inside '[ ]'")
+                self.expect(PUNCT, "]")
+                node = IndexSel(node, index)
+            else:
+                return node
+
+    def primary(self):
+        token = self.peek()
+        if token.kind == STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.kind == INT:
+            self.advance()
+            return Literal(int(token.value))
+        if token.kind == FLOAT:
+            self.advance()
+            return Literal(float(token.value))
+        if token.kind == KEYWORD and token.value in ("true", "false"):
+            self.advance()
+            return Literal(token.value == "true")
+        if token.kind == KEYWORD and token.value == "nil":
+            self.advance()
+            from repro.oodb.values import NIL
+            return Literal(NIL)
+        if token.kind == KEYWORD and token.value == "tuple":
+            return self.tuple_expression()
+        if token.kind == KEYWORD and token.value in ("list", "set"):
+            return self.collection_expression()
+        if token.kind == KEYWORD and token.value == "exists":
+            self.advance()
+            self.expect(PUNCT, "(")
+            inner = self.select_query()
+            self.expect(PUNCT, ")")
+            return ExistsOp(inner)
+        if token.kind == KEYWORD and token.value == "near":
+            self.advance()
+            self.expect(PUNCT, "(")
+            arguments = [self.argument()]
+            while self.eat(PUNCT, ","):
+                arguments.append(self.argument())
+            self.expect(PUNCT, ")")
+            return Call("near", arguments)
+        if token.kind == KEYWORD and token.value == "element":
+            # element(q) extracts the single element of a singleton set
+            self.advance()
+            self.expect(PUNCT, "(")
+            inner = self.query()
+            self.expect(PUNCT, ")")
+            return Call("element", [inner])
+        if token.kind in (PATHVAR, ATTVAR):
+            self.advance()
+            return Ident(token.value)
+        if token.kind == IDENT:
+            self.advance()
+            if self.at(PUNCT, "("):
+                self.advance()
+                arguments = []
+                if not self.at(PUNCT, ")"):
+                    arguments.append(self.argument())
+                    while self.eat(PUNCT, ","):
+                        arguments.append(self.argument())
+                self.expect(PUNCT, ")")
+                return Call(token.value, arguments)
+            return Ident(token.value)
+        if token.kind == PUNCT and token.value == "(":
+            self.advance()
+            if self.at(KEYWORD, "select"):
+                inner: object = self.select_query()
+            else:
+                inner = self.condition()
+            self.expect(PUNCT, ")")
+            return inner
+        raise self.error(f"unexpected {token.value!r}")
+
+    def argument(self):
+        if self.at(KEYWORD, "select"):
+            return self.select_query()
+        return self.condition()
+
+    def tuple_expression(self) -> TupleExpr:
+        self.expect(KEYWORD, "tuple")
+        self.expect(PUNCT, "(")
+        fields = []
+        while True:
+            name_token = self.peek()
+            if name_token.kind not in (IDENT, KEYWORD):
+                raise self.error("expected a field name in tuple(...)")
+            self.advance()
+            self.expect(PUNCT, ":")
+            fields.append((name_token.value, self.expression()))
+            if not self.eat(PUNCT, ","):
+                break
+        self.expect(PUNCT, ")")
+        return TupleExpr(fields)
+
+    def collection_expression(self) -> CollectionExpr:
+        kind = self.advance().value
+        self.expect(PUNCT, "(")
+        items = []
+        if not self.at(PUNCT, ")"):
+            items.append(self.expression())
+            while self.eat(PUNCT, ","):
+                items.append(self.expression())
+        self.expect(PUNCT, ")")
+        return CollectionExpr(kind, items)

@@ -1,0 +1,358 @@
+"""Translate O₂SQL to the calculus (the Section 5.2 closing remark).
+
+"Any O₂SQL query of the form ``Doc PATH_p[i].ATT_a(x)...`` can be
+translated into a calculus expression of the form
+``{[P, I, A, X, ...] | <Doc P[I]·A(X)...>}``" — this module implements
+that translation for the whole surface language:
+
+* from-ranges become membership atoms,
+* from-path-expressions become path predicates,
+* the where clause becomes conjuncts,
+* select expressions become head variables, with fresh result variables
+  equated to non-variable expressions,
+* every non-head variable is existentially quantified,
+* set operations between queries become nested-query membership
+  formulas.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError, QueryTypeError
+from repro.calculus.formulas import (
+    And,
+    Eq,
+    Exists,
+    Formula,
+    In,
+    Not,
+    Or,
+    PathAtom,
+    Pred,
+    Query,
+)
+from repro.calculus.terms import (
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Deref,
+    FunTerm,
+    Index,
+    ListTerm,
+    PathApply,
+    PathTerm,
+    PathVar,
+    Name,
+    Sel,
+    SetBind,
+    SetTerm,
+    TupleTerm,
+)
+from repro.o2sql import ast
+from repro.text.patterns import parse_pattern_expr
+
+_PREDICATE_CALLS = frozenset({"near", "startswith"})
+_COMPARISON_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                   "!=": "neq"}
+
+
+class _Scope:
+    """Declared variables and fresh-name supply.
+
+    A child scope (for correlated subqueries) sees the parent's
+    variables but records its own declarations separately, so the
+    translator knows which variables the subquery introduces."""
+
+    def __init__(self, roots: frozenset[str],
+                 parent: "._Scope | None" = None) -> None:
+        self.roots = roots
+        self.parent = parent
+        self.variables: dict[str, object] = {}
+        self._fresh = 0
+
+    def child(self) -> "_Scope":
+        child = _Scope(self.roots, parent=self)
+        child._fresh = self._fresh + 1000
+        return child
+
+    def declare(self, name: str):
+        existing = self.lookup(name)
+        if existing is not None:
+            return existing
+        variable = self._make(name)
+        self.variables[name] = variable
+        return variable
+
+    def _make(self, name: str):
+        if name.startswith("PATH_"):
+            return PathVar(name)
+        if name.startswith("ATT_"):
+            return AttVar(name)
+        return DataVar(name)
+
+    def lookup(self, name: str):
+        found = self.variables.get(name)
+        if found is None and self.parent is not None:
+            return self.parent.lookup(name)
+        return found
+
+    def fresh_path_var(self) -> PathVar:
+        self._fresh += 1
+        return PathVar(f"PATH_anon{self._fresh}")
+
+    def fresh_data_var(self, stem: str = "r") -> DataVar:
+        self._fresh += 1
+        return DataVar(f"_{stem}{self._fresh}")
+
+
+def to_calculus(node, root_names) -> Query:
+    """Translate a parsed O₂SQL query to a calculus :class:`Query`."""
+    scope = _Scope(frozenset(root_names))
+    if isinstance(node, ast.SelectQuery):
+        return _translate_select(node, scope)
+    return _translate_expression_query(node, scope)
+
+
+# ---------------------------------------------------------------------------
+# select-from-where
+# ---------------------------------------------------------------------------
+
+
+def _translate_select(node: ast.SelectQuery, scope: _Scope) -> Query:
+    conjuncts: list[Formula] = []
+    for item in node.from_items:
+        if isinstance(item, ast.FromRange):
+            variable = scope.declare(item.variable)
+            collection = _term(item.collection, scope)
+            conjuncts.append(In(variable, collection))
+        elif isinstance(item, ast.FromPath):
+            conjuncts.append(_path_atom(item.path, scope))
+        else:  # pragma: no cover
+            raise QuerySyntaxError(f"bad from item {item!r}")
+    if node.where is not None:
+        conjuncts.append(_formula(node.where, scope))
+
+    head = []
+    for expression in node.select:
+        if isinstance(expression, ast.Ident):
+            known = scope.lookup(expression.name)
+            if known is not None:
+                head.append(known)
+                continue
+        result_var = scope.fresh_data_var(_result_stem(expression))
+        conjuncts.append(Eq(result_var, _term(expression, scope)))
+        head.append(result_var)
+
+    formula = And(*conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+    hidden = [variable for variable in scope.variables.values()
+              if variable not in head]
+    hidden += [variable for variable in formula.free_variables()
+               if variable not in head and variable not in hidden]
+    if hidden:
+        formula = Exists(hidden, formula)
+    return Query(head, formula)
+
+
+def _result_stem(expression) -> str:
+    """A readable name for the result column of a select expression."""
+    if isinstance(expression, ast.Call):
+        return expression.function
+    if isinstance(expression, ast.FieldSel):
+        return expression.name
+    if isinstance(expression, ast.TupleExpr):
+        return "row"
+    return "r"
+
+
+def _path_atom(path: ast.PathExpr, scope: _Scope) -> PathAtom:
+    root = _term(path.root, scope)
+    return PathAtom(root, _path_term(path.components, scope))
+
+
+def _path_term(components, scope: _Scope) -> PathTerm:
+    translated = []
+    for component in components:
+        if isinstance(component, ast.PVar):
+            translated.append(scope.declare(component.name))
+        elif isinstance(component, ast.PAnon):
+            translated.append(scope.fresh_path_var())
+        elif isinstance(component, ast.PAttr):
+            translated.append(Sel(component.name))
+        elif isinstance(component, ast.PAttVar):
+            translated.append(Sel(scope.declare(component.name)))
+        elif isinstance(component, ast.PIndex):
+            if isinstance(component.index, int):
+                translated.append(Index(component.index))
+            else:
+                translated.append(Index(scope.declare(component.index)))
+        elif isinstance(component, ast.PDeref):
+            translated.append(Deref())
+        elif isinstance(component, ast.PBind):
+            translated.append(Bind(scope.declare(component.name)))
+        elif isinstance(component, ast.PSetBind):
+            translated.append(SetBind(scope.declare(component.name)))
+        else:  # pragma: no cover
+            raise QuerySyntaxError(f"bad path component {component!r}")
+    return PathTerm(translated)
+
+
+# ---------------------------------------------------------------------------
+# bare expression queries (Q4 and friends)
+# ---------------------------------------------------------------------------
+
+
+def _translate_expression_query(node, scope: _Scope) -> Query:
+    if isinstance(node, ast.PathExpr):
+        atom = _path_atom(node, scope)
+        head = [variable for variable in scope.variables.values()]
+        if not head:
+            raise QueryTypeError(
+                f"path expression {node} has no variables to return")
+        return Query(head, atom)
+    if isinstance(node, ast.BinOp) and node.op in ("-", "union",
+                                                   "intersect"):
+        left_query = to_calculus(node.left, scope.roots)
+        right_query = to_calculus(node.right, scope.roots)
+        element = scope.fresh_data_var("e")
+        left_atom = In(element, left_query)
+        right_atom = In(element, right_query)
+        if node.op == "-":
+            formula: Formula = And(left_atom, Not(right_atom))
+        elif node.op == "intersect":
+            formula = And(left_atom, right_atom)
+        else:
+            formula = Or(left_atom, right_atom)
+        return Query([element], formula)
+    # any other expression: a singleton projection query
+    result = scope.fresh_data_var()
+    formula = Eq(result, _term(node, scope))
+    hidden = [variable for variable in scope.variables.values()
+              if variable is not result]
+    if hidden:
+        formula = Exists(hidden, formula)
+    return Query([result], formula)
+
+
+# ---------------------------------------------------------------------------
+# conditions
+# ---------------------------------------------------------------------------
+
+
+def _formula(node, scope: _Scope) -> Formula:
+    if isinstance(node, ast.BoolOp):
+        parts = [_formula(operand, scope) for operand in node.operands]
+        return And(*parts) if node.op == "and" else Or(*parts)
+    if isinstance(node, ast.NotOp):
+        return Not(_formula(node.operand, scope))
+    if isinstance(node, ast.ContainsOp):
+        pattern = parse_pattern_expr(node.pattern.source)
+        return Pred("contains",
+                    [_term(node.operand, scope), Const(pattern)])
+    if isinstance(node, ast.BinOp):
+        if node.op == "=":
+            return Eq(_term(node.left, scope), _term(node.right, scope))
+        if node.op == "in":
+            return In(_term(node.left, scope), _term(node.right, scope))
+        predicate = _COMPARISON_OPS.get(node.op)
+        if predicate is not None:
+            return Pred(predicate, [_term(node.left, scope),
+                                    _term(node.right, scope)])
+        raise QuerySyntaxError(f"operator {node.op!r} is not a condition")
+    if isinstance(node, ast.Call) and node.function in _PREDICATE_CALLS:
+        return Pred(node.function,
+                    [_term(argument, scope) for argument in
+                     node.arguments])
+    if isinstance(node, ast.ExistsOp):
+        # correlated subquery: inline as an existential formula over
+        # the subquery's own variables, sharing the outer bindings
+        inner_scope = scope.child()
+        conjuncts: list[Formula] = []
+        for item in node.query.from_items:
+            if isinstance(item, ast.FromRange):
+                variable = inner_scope.declare(item.variable)
+                conjuncts.append(
+                    In(variable, _term(item.collection, inner_scope)))
+            elif isinstance(item, ast.FromPath):
+                conjuncts.append(_path_atom(item.path, inner_scope))
+        if node.query.where is not None:
+            conjuncts.append(_formula(node.query.where, inner_scope))
+        body = And(*conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+        introduced = list(inner_scope.variables.values())
+        if not introduced:
+            return body
+        return Exists(introduced, body)
+    # a boolean-valued expression used as a condition
+    return Eq(_term(node, scope), Const(True))
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+def _term(node, scope: _Scope):
+    if isinstance(node, ast.Ident):
+        known = scope.lookup(node.name)
+        if known is not None:
+            return known
+        if node.name in scope.roots:
+            return Name(node.name)
+        raise QueryTypeError(
+            f"unknown identifier {node.name!r}: neither a declared "
+            "variable nor a persistence root")
+    if isinstance(node, ast.Literal):
+        return Const(node.value)
+    if isinstance(node, ast.PatternLit):
+        return Const(parse_pattern_expr(node.source))
+    if isinstance(node, ast.FieldSel):
+        base = _term(node.base, scope)
+        selector = (Sel(scope.declare(node.name)) if node.attvar
+                    else Sel(node.name))
+        return _extend_path_apply(base, selector)
+    if isinstance(node, ast.IndexSel):
+        base = _term(node.base, scope)
+        if isinstance(node.index, int):
+            step = Index(node.index)
+        elif isinstance(node.index, ast.Ident):
+            known = scope.lookup(node.index.name)
+            if known is None or not isinstance(known, DataVar):
+                raise QueryTypeError(
+                    f"index variable {node.index.name!r} is not declared "
+                    "in the from clause")
+            step = Index(known)
+        else:  # pragma: no cover
+            raise QuerySyntaxError(f"bad index {node.index!r}")
+        return _extend_path_apply(base, step)
+    if isinstance(node, ast.Call):
+        if node.function in _PREDICATE_CALLS:
+            raise QueryTypeError(
+                f"{node.function} is a predicate, not a function")
+        arguments = [_term(argument, scope)
+                     for argument in node.arguments]
+        return FunTerm(node.function, arguments)
+    if isinstance(node, ast.TupleExpr):
+        return TupleTerm([(name, _term(sub, scope))
+                          for name, sub in node.fields])
+    if isinstance(node, ast.CollectionExpr):
+        items = [_term(sub, scope) for sub in node.items]
+        return ListTerm(items) if node.kind == "list" else SetTerm(items)
+    if isinstance(node, ast.SelectQuery):
+        return _translate_select(node, _Scope(scope.roots))
+    if isinstance(node, ast.PathExpr):
+        # a nested path-set query, e.g. `my_article PATH_p` in a where
+        inner_scope = _Scope(scope.roots)
+        return _translate_expression_query(node, inner_scope)
+    if isinstance(node, ast.BinOp) and node.op in ("-", "union",
+                                                   "intersect"):
+        function = {"-": "set_difference", "union": "set_union",
+                    "intersect": "set_intersection"}[node.op]
+        return FunTerm(function, [_term(node.left, scope),
+                                  _term(node.right, scope)])
+    raise QuerySyntaxError(f"cannot use {node!r} as an expression")
+
+
+def _extend_path_apply(base, step):
+    """Merge chained selections into a single PathApply."""
+    if isinstance(base, PathApply):
+        return PathApply(base.root, base.path + PathTerm([step]))
+    return PathApply(base, PathTerm([step]))

@@ -1,0 +1,178 @@
+"""The constraint language of Figure 3.
+
+The DTD→schema mapping generates constraints that capture what the type
+system alone cannot (Section 3): occurrence indicators (``+`` means a
+non-empty list, missing ``?`` means a non-nil attribute), required
+attributes, and enumerated ranges such as
+``status in set("final", "draft")``.
+
+Constraints attach to classes; :func:`check_instance` verifies every object
+of a constrained class.  The constraint forms are:
+
+* :class:`NotNil` — ``path != nil``
+* :class:`NotEmpty` — ``path != list()``
+* :class:`OneOf` — ``path in set(v1, ..., vn)``
+* :class:`Disjunction` — at least one alternative constraint-set holds
+  (used for union-typed classes such as ``Section`` in Figure 3, and for
+  ``Body``'s ``figure != nil | paragr != nil``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConstraintViolation
+from repro.oodb.instance import Instance
+from repro.oodb.values import ListValue, Nil, Oid, SetValue, TupleValue
+
+
+class Constraint:
+    """Base class; subclasses implement :meth:`holds`."""
+
+    def holds(self, value: object, instance: Instance) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.describe()
+
+    def __eq__(self, other: object) -> bool:
+        return (type(other) is type(self)
+                and other.__dict__ == self.__dict__)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(
+            (k, repr(v)) for k, v in self.__dict__.items()))))
+
+
+def _select(value: object, path: Sequence[str],
+            instance: Instance) -> object | None:
+    """Follow attribute names through tuples/marked unions, dereferencing
+    oids transparently.  Returns ``None`` when the path does not apply
+    (e.g. wrong union branch) — distinct from reaching an actual ``nil``."""
+    current = value
+    for attribute in path:
+        if isinstance(current, Oid):
+            current = instance.deref(current)
+        if isinstance(current, TupleValue):
+            if not current.has_attribute(attribute):
+                return None
+            current = current.get(attribute)
+        else:
+            return None
+    return current
+
+
+class NotNil(Constraint):
+    """``a.b.c != nil``."""
+
+    def __init__(self, *path: str) -> None:
+        self.path = tuple(path)
+
+    def holds(self, value: object, instance: Instance) -> bool:
+        target = _select(value, self.path, instance)
+        return target is not None and not isinstance(target, Nil)
+
+    def describe(self) -> str:
+        return ".".join(self.path) + " != nil"
+
+
+class NotEmpty(Constraint):
+    """``a.b != list()`` (also accepts non-empty sets)."""
+
+    def __init__(self, *path: str) -> None:
+        self.path = tuple(path)
+
+    def holds(self, value: object, instance: Instance) -> bool:
+        target = _select(value, self.path, instance)
+        if isinstance(target, (ListValue, SetValue)):
+            return len(target) > 0
+        return False
+
+    def describe(self) -> str:
+        return ".".join(self.path) + " != list()"
+
+
+class OneOf(Constraint):
+    """``a in set(v1, ..., vn)``."""
+
+    def __init__(self, path: Sequence[str], allowed: Iterable[object]) -> None:
+        self.path = tuple(path)
+        self.allowed = tuple(allowed)
+
+    def holds(self, value: object, instance: Instance) -> bool:
+        target = _select(value, self.path, instance)
+        return target in self.allowed
+
+    def describe(self) -> str:
+        values = ", ".join(repr(v) for v in self.allowed)
+        return ".".join(self.path) + f" in set({values})"
+
+
+class Disjunction(Constraint):
+    """At least one alternative — each a list of constraints — holds."""
+
+    def __init__(self, *alternatives: Sequence[Constraint]) -> None:
+        self.alternatives = tuple(tuple(alt) for alt in alternatives)
+
+    def holds(self, value: object, instance: Instance) -> bool:
+        return any(
+            all(constraint.holds(value, instance) for constraint in alt)
+            for alt in self.alternatives)
+
+    def describe(self) -> str:
+        return " | ".join(
+            "(" + ", ".join(c.describe() for c in alt) + ")"
+            for alt in self.alternatives)
+
+
+class ConstraintSet:
+    """Constraints grouped by class name."""
+
+    def __init__(self) -> None:
+        self._by_class: dict[str, list[Constraint]] = {}
+
+    def add(self, class_name: str, constraint: Constraint) -> None:
+        self._by_class.setdefault(class_name, []).append(constraint)
+
+    def for_class(self, class_name: str) -> tuple[Constraint, ...]:
+        return tuple(self._by_class.get(class_name, ()))
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._by_class)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_class.values())
+
+    def check_value(self, class_name: str, value: object,
+                    instance: Instance) -> None:
+        """Raise :class:`ConstraintViolation` on the first failure."""
+        for constraint in self.for_class(class_name):
+            if not constraint.holds(value, instance):
+                raise ConstraintViolation(
+                    f"constraint violated: {constraint.describe()}",
+                    class_name=class_name)
+
+    def check_instance(self, instance: Instance) -> None:
+        """Check every object of every constrained class."""
+        for class_name in self.class_names:
+            if not instance.schema.hierarchy.has_class(class_name):
+                continue
+            for oid in instance.disjoint_extent(class_name):
+                self.check_value(class_name, instance.deref(oid), instance)
+
+    def violations(self, instance: Instance) -> list[tuple[str, str]]:
+        """All ``(class, description)`` violations — never raises."""
+        found: list[tuple[str, str]] = []
+        for class_name in self.class_names:
+            if not instance.schema.hierarchy.has_class(class_name):
+                continue
+            for oid in instance.disjoint_extent(class_name):
+                value = instance.deref(oid)
+                for constraint in self.for_class(class_name):
+                    if not constraint.holds(value, instance):
+                        found.append((class_name, constraint.describe()))
+        return found

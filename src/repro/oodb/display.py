@@ -1,0 +1,116 @@
+"""Pretty-printers for schemas, constraints and values.
+
+:func:`format_schema` regenerates the Figure-3 presentation of an O₂-style
+schema: one ``class`` block per class with its ``public type`` and
+``constraint:`` lines, then ``name`` lines for the persistence roots.  The
+F3 experiment asserts that the schema compiled from the Figure-1 DTD prints
+to the same class inventory as the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.oodb.constraints import ConstraintSet
+from repro.oodb.schema import Schema
+from repro.oodb.types import (
+    AnyType,
+    AtomicType,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    Type,
+    UnionType,
+)
+from repro.oodb.values import ListValue, Nil, Oid, SetValue, TupleValue
+
+
+def format_type(tp: Type) -> str:
+    """Figure-3 style rendering of a type."""
+    if isinstance(tp, AtomicType):
+        return tp.name
+    if isinstance(tp, AnyType):
+        return "any"
+    if isinstance(tp, ClassType):
+        return tp.name
+    if isinstance(tp, ListType):
+        return f"list ({format_type(tp.element)})"
+    if isinstance(tp, SetType):
+        return f"set ({format_type(tp.element)})"
+    if isinstance(tp, TupleType):
+        inner = ", ".join(
+            f"{name}: {format_type(field)}" for name, field in tp.fields)
+        return f"tuple ({inner})"
+    if isinstance(tp, UnionType):
+        inner = ", ".join(
+            f"{marker}: {format_type(branch)}"
+            for marker, branch in tp.branches)
+        return f"union ({inner})"
+    return str(tp)
+
+
+def format_class(schema: Schema, class_name: str,
+                 constraints: ConstraintSet | None = None) -> str:
+    """One ``class`` block in the style of Figure 3."""
+    parents = schema.hierarchy.direct_parents(class_name)
+    structure = schema.structure(class_name)
+    parts = [f"class {class_name}"]
+    if parents:
+        parts.append("inherit " + ", ".join(parents))
+    rendered = format_type(structure)
+    # A class that only inherits (e.g. `class Title inherit Text`) has the
+    # parent's structure verbatim; Figure 3 omits the redundant type.
+    redundant = bool(parents) and all(
+        schema.structure(parent) == structure for parent in parents)
+    if not redundant:
+        parts.append(f"public type {rendered}")
+    lines = [" ".join(parts)]
+    if constraints is not None:
+        class_constraints = constraints.for_class(class_name)
+        if class_constraints:
+            described = ", ".join(c.describe() for c in class_constraints)
+            lines.append(f"    constraint: {described}")
+    return "\n".join(lines)
+
+
+def format_schema(schema: Schema,
+                  constraints: ConstraintSet | None = None) -> str:
+    """Render a whole schema as in Figure 3 (classes, then roots)."""
+    blocks = [format_class(schema, class_name, constraints)
+              for class_name in schema.class_names]
+    for root_name, root_type in schema.roots.items():
+        blocks.append(f"name {root_name}: {format_type(root_type)}")
+    return "\n".join(blocks)
+
+
+def format_value(value: object, indent: int = 0, max_string: int = 60) -> str:
+    """Readable multi-line rendering of a value tree."""
+    pad = "  " * indent
+    if isinstance(value, Nil):
+        return pad + "nil"
+    if isinstance(value, Oid):
+        return pad + repr(value)
+    if isinstance(value, str):
+        shown = value if len(value) <= max_string else (
+            value[:max_string - 3] + "...")
+        return pad + repr(shown)
+    if isinstance(value, (int, float, bool)):
+        return pad + repr(value)
+    if isinstance(value, TupleValue):
+        if not value.fields:
+            return pad + "tuple()"
+        lines = [pad + "tuple("]
+        for name, field in value.fields:
+            rendered = format_value(field, indent + 1, max_string).lstrip()
+            lines.append("  " * (indent + 1) + f"{name}: {rendered}")
+        lines.append(pad + ")")
+        return "\n".join(lines)
+    if isinstance(value, (ListValue, SetValue)):
+        keyword = "list" if isinstance(value, ListValue) else "set"
+        if not len(value):
+            return pad + f"{keyword}()"
+        lines = [pad + f"{keyword}("]
+        for element in value:
+            lines.append(format_value(element, indent + 1, max_string))
+        lines.append(pad + ")")
+        return "\n".join(lines)
+    return pad + repr(value)

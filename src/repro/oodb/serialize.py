@@ -1,0 +1,208 @@
+"""A compact binary codec for model values.
+
+Used by the object store for snapshots and by the storage-overhead
+experiment (P2): Section 3 notes that "the representation of SGML documents
+in an OODB ... comes with some extra cost in storage"; this codec lets the
+benchmark measure that cost against the raw SGML byte size.
+
+Wire format: one tag byte per node, followed by a payload.
+
+====  =======================================================
+tag   payload
+====  =======================================================
+0x00  nil
+0x01  oid            varint number, string class name
+0x02  integer        zigzag varint
+0x03  string         varint length + utf-8 bytes
+0x04  boolean        one byte
+0x05  float          8 bytes IEEE-754 big endian
+0x06  tuple          varint n, then n x (name, value)
+0x07  list           varint n, then n values
+0x08  set            varint n, then n values
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import StoreError
+from repro.oodb.values import (
+    ListValue,
+    NIL,
+    Nil,
+    Oid,
+    SetValue,
+    TupleValue,
+)
+
+_TAG_NIL = 0x00
+_TAG_OID = 0x01
+_TAG_INT = 0x02
+_TAG_STR = 0x03
+_TAG_BOOL = 0x04
+_TAG_FLOAT = 0x05
+_TAG_TUPLE = 0x06
+_TAG_LIST = 0x07
+_TAG_SET = 0x08
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise StoreError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _write_string(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    _write_varint(out, len(data))
+    out.extend(data)
+
+
+def encode_value(value: object) -> bytes:
+    """Serialize a model value to bytes."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: object) -> None:
+    if isinstance(value, Nil):
+        out.append(_TAG_NIL)
+    elif isinstance(value, Oid):
+        out.append(_TAG_OID)
+        _write_varint(out, value.number)
+        _write_string(out, value.class_name)
+    elif isinstance(value, bool):
+        out.append(_TAG_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        out.append(_TAG_STR)
+        _write_string(out, value)
+    elif isinstance(value, TupleValue):
+        out.append(_TAG_TUPLE)
+        _write_varint(out, len(value.fields))
+        for name, field in value.fields:
+            _write_string(out, name)
+            _encode_into(out, field)
+    elif isinstance(value, ListValue):
+        out.append(_TAG_LIST)
+        _write_varint(out, len(value))
+        for element in value:
+            _encode_into(out, element)
+    elif isinstance(value, SetValue):
+        out.append(_TAG_SET)
+        _write_varint(out, len(value))
+        for element in value:
+            _encode_into(out, element)
+    else:
+        raise StoreError(
+            f"cannot serialize {type(value).__name__}: {value!r}")
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise StoreError("truncated value stream")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            byte = self.byte()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise StoreError("varint too long")
+
+    def string(self) -> str:
+        length = self.varint()
+        if self.pos + length > len(self.data):
+            raise StoreError("truncated string")
+        text = self.data[self.pos:self.pos + length].decode("utf-8")
+        self.pos += length
+        return text
+
+    def chunk(self, length: int) -> bytes:
+        if self.pos + length > len(self.data):
+            raise StoreError("truncated chunk")
+        data = self.data[self.pos:self.pos + length]
+        self.pos += length
+        return data
+
+
+def decode_value(data: bytes) -> object:
+    """Inverse of :func:`encode_value`; rejects trailing garbage."""
+    reader = _Reader(data)
+    value = _decode(reader)
+    if reader.pos != len(data):
+        raise StoreError(
+            f"{len(data) - reader.pos} trailing bytes after value")
+    return value
+
+
+def _decode(reader: _Reader) -> object:
+    tag = reader.byte()
+    if tag == _TAG_NIL:
+        return NIL
+    if tag == _TAG_OID:
+        number = reader.varint()
+        class_name = reader.string()
+        return Oid(number, class_name)
+    if tag == _TAG_BOOL:
+        return reader.byte() != 0
+    if tag == _TAG_INT:
+        return _unzigzag(reader.varint())
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.chunk(8))[0]
+    if tag == _TAG_STR:
+        return reader.string()
+    if tag == _TAG_TUPLE:
+        count = reader.varint()
+        return TupleValue(
+            (reader.string(), _decode(reader)) for _ in range(count))
+    if tag == _TAG_LIST:
+        count = reader.varint()
+        return ListValue(_decode(reader) for _ in range(count))
+    if tag == _TAG_SET:
+        count = reader.varint()
+        return SetValue(_decode(reader) for _ in range(count))
+    raise StoreError(f"unknown value tag 0x{tag:02x}")
+
+
+def encoded_size(value: object) -> int:
+    """Byte size of the serialized value (storage-overhead experiment)."""
+    return len(encode_value(value))

@@ -1,0 +1,245 @@
+"""A small object store backing :class:`~repro.oodb.instance.Instance`.
+
+The paper's documents live inside the O₂ OODBMS; our substitute is an
+in-process store that provides the pieces the experiments rely on:
+
+* **snapshots** — serialize a whole instance to a single file and load it
+  back (used to measure the Section-3 storage overhead and to persist the
+  corpus between benchmark runs);
+* **secondary indexes** — hash indexes from attribute values to oids,
+  registered per class/attribute, kept up to date on (re)binding;
+* **statistics** — object counts and encoded sizes per class.
+
+The snapshot format is::
+
+    REPRO-STORE\\n
+    <varint root-count> (name, value)*
+    <varint class-count> (class name, varint member-count,
+                          (varint oid-number, value)*)*
+
+Schema is *not* serialized — snapshots are reloaded against a schema the
+caller supplies, and membership is re-checked on load.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Callable, Iterator
+
+from repro.errors import StoreError
+from repro.oodb.instance import Instance
+from repro.oodb.schema import Schema
+from repro.oodb.serialize import _Reader, _decode, _encode_into, _write_varint, _write_string
+from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
+
+_MAGIC = b"REPRO-STORE\n"
+
+
+class HashIndex:
+    """A secondary index: value of ``class.attribute`` → oids."""
+
+    def __init__(self, class_name: str, attribute: str) -> None:
+        self.class_name = class_name
+        self.attribute = attribute
+        self._entries: dict[object, list[Oid]] = {}
+
+    def add(self, key: object, oid: Oid) -> None:
+        self._entries.setdefault(key, []).append(oid)
+
+    def remove(self, key: object, oid: Oid) -> None:
+        bucket = self._entries.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(oid)
+        except ValueError:
+            pass
+        if not bucket:
+            del self._entries[key]
+
+    def lookup(self, key: object) -> tuple[Oid, ...]:
+        return tuple(self._entries.get(key, ()))
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+
+class ObjectStore:
+    """Wraps an :class:`Instance` with indexing and persistence."""
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, class_name: str, attribute: str) -> HashIndex:
+        """Build (or return) a hash index on ``class_name.attribute``.
+
+        The indexed key is the value of the attribute in the object's tuple
+        value; objects whose value is not a tuple or lacks the attribute
+        are skipped.
+        """
+        key = (class_name, attribute)
+        existing = self._indexes.get(key)
+        if existing is not None:
+            return existing
+        index = HashIndex(class_name, attribute)
+        for oid in self.instance.extent(class_name):
+            extracted = self._index_key(oid, attribute)
+            if extracted is not _MISSING:
+                index.add(extracted, oid)
+        self._indexes[key] = index
+        return index
+
+    def index_for(self, class_name: str, attribute: str) -> HashIndex | None:
+        return self._indexes.get((class_name, attribute))
+
+    def _index_key(self, oid: Oid, attribute: str) -> object:
+        value = self.instance.deref(oid)
+        if isinstance(value, TupleValue) and value.has_attribute(attribute):
+            key = value.get(attribute)
+            try:
+                hash(key)
+            except TypeError:
+                return _MISSING
+            return key
+        return _MISSING
+
+    def update_object(self, oid: Oid, value: object) -> None:
+        """Rebind an object's value, keeping indexes consistent."""
+        for (class_name, attribute), index in self._indexes.items():
+            if not self.instance.oid_in_class(oid, class_name):
+                continue
+            old_key = self._index_key(oid, attribute)
+            if old_key is not _MISSING:
+                index.remove(old_key, oid)
+        self.instance.set_value(oid, value)
+        for (class_name, attribute), index in self._indexes.items():
+            if not self.instance.oid_in_class(oid, class_name):
+                continue
+            new_key = self._index_key(oid, attribute)
+            if new_key is not _MISSING:
+                index.add(new_key, oid)
+
+    def lookup(self, class_name: str, attribute: str,
+               key: object) -> tuple[Oid, ...]:
+        """Index lookup; raises :class:`StoreError` when no index exists."""
+        index = self._indexes.get((class_name, attribute))
+        if index is None:
+            raise StoreError(
+                f"no index on {class_name}.{attribute}")
+        return index.lookup(key)
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-class ``{'objects': n, 'bytes': encoded size}``."""
+        from repro.oodb.serialize import encoded_size
+        report: dict[str, dict[str, int]] = {}
+        for class_name in self.instance.schema.class_names:
+            members = self.instance.disjoint_extent(class_name)
+            if not members:
+                continue
+            total = sum(
+                encoded_size(self.instance.deref(oid)) for oid in members)
+            report[class_name] = {"objects": len(members), "bytes": total}
+        return report
+
+    def total_bytes(self) -> int:
+        """Encoded size of every object value plus every root value."""
+        from repro.oodb.serialize import encoded_size
+        total = sum(
+            encoded_size(self.instance.deref(oid))
+            for oid in self.instance.all_oids())
+        total += sum(
+            encoded_size(self.instance.root(name))
+            for name in self.instance.root_names)
+        return total
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot_bytes(self) -> bytes:
+        """Serialize roots and all objects to a bytes snapshot."""
+        out = bytearray(_MAGIC)
+        roots = self.instance.root_names
+        _write_varint(out, len(roots))
+        for name in roots:
+            _write_string(out, name)
+            _encode_into(out, self.instance.root(name))
+        class_blocks = [
+            (class_name, self.instance.disjoint_extent(class_name))
+            for class_name in self.instance.schema.class_names
+            if self.instance.disjoint_extent(class_name)]
+        _write_varint(out, len(class_blocks))
+        for class_name, members in class_blocks:
+            _write_string(out, class_name)
+            _write_varint(out, len(members))
+            for oid in members:
+                _write_varint(out, oid.number)
+                _encode_into(out, self.instance.deref(oid))
+        return bytes(out)
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write a snapshot file; returns the byte count."""
+        data = self.snapshot_bytes()
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(data)
+
+    @classmethod
+    def load_bytes(cls, schema: Schema, data: bytes,
+                   on_missing_root=None) -> "ObjectStore":
+        """Rebuild a store from :meth:`snapshot_bytes` output.
+
+        ``on_missing_root(name, value)`` is called for roots present in
+        the snapshot but not declared in ``schema`` (e.g. O₂ *names*
+        registered at runtime); it must declare the root or raise.
+        """
+        if not data.startswith(_MAGIC):
+            raise StoreError("not a repro store snapshot")
+        reader = _Reader(data)
+        reader.pos = len(_MAGIC)
+        instance = Instance(schema)
+        root_count = reader.varint()
+        pending_roots = []
+        for _ in range(root_count):
+            name = reader.string()
+            pending_roots.append((name, _decode(reader)))
+        class_count = reader.varint()
+        max_number = 0
+        for _ in range(class_count):
+            class_name = reader.string()
+            member_count = reader.varint()
+            for _ in range(member_count):
+                number = reader.varint()
+                value = _decode(reader)
+                oid = Oid(number, class_name)
+                instance._extent[class_name].append(oid)
+                instance._values[number] = value
+                max_number = max(max_number, number)
+        instance._next_oid = max_number + 1
+        for name, value in pending_roots:
+            if not schema.has_root(name) and on_missing_root is not None:
+                on_missing_root(name, value)
+            instance.set_root(name, value)
+        instance.check()
+        return cls(instance)
+
+    @classmethod
+    def load(cls, schema: Schema, path: str | os.PathLike,
+             on_missing_root=None) -> "ObjectStore":
+        with open(path, "rb") as handle:
+            return cls.load_bytes(schema, handle.read(), on_missing_root)
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,246 @@
+"""Subtyping and common-supertype computation (Sections 4.2 and 5.1).
+
+The subtyping relation ``<=`` is the standard structural O₂ relation,
+extended with the paper's two new rules:
+
+* **tuple-into-union** — ``[ai: ti] <= (... + ai: ti + ...)``.  By
+  transitivity with the usual tuple-width rule this yields
+
+  ``[a1:t1,...,an:tn] <= [ai:ti] <= (a1:t1 + ... + an:tn)``
+
+* **tuple-as-heterogeneous-list** —
+
+  ``[a1:t1,...,an:tn] <= [(a1:t1 + ... + an:tn)]``
+
+  which blurs the distinction between a tuple and the list of its
+  one-field projections and powers the positional queries of Section 4.4.
+
+The module also implements the *least common supertype* used by the query
+type checker (Section 4.2), with the paper's two union rules:
+
+1. a union type and a non-union type have no common supertype;
+2. two union types have a common supertype iff they have no marker
+   conflict; the least one is then the merged union.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SubtypingError
+from repro.oodb.types import (
+    ANY,
+    AnyType,
+    AtomicType,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    Type,
+    UnionType,
+)
+
+# The class partial order is supplied by the schema.  To keep this module
+# independent from ``schema.py`` (which imports it back), callers pass a
+# ``class_leq`` callable: ``class_leq(c1, c2)`` is True when class ``c1``
+# precedes (is a subclass of) ``c2``.
+
+ClassOrder = "callable[[str, str], bool]"
+
+
+def _no_classes(sub: str, sup: str) -> bool:
+    """Default class order when no schema is in scope: names must match."""
+    return sub == sup
+
+
+def is_subtype(sub: Type, sup: Type, class_leq=_no_classes) -> bool:
+    """Decide ``sub <= sup`` under the extended rules.
+
+    ``class_leq`` gives the class hierarchy's partial order ``<`` on class
+    names (reflexive closure is applied here).
+    """
+    if sub == sup:
+        return True
+    if isinstance(sup, AnyType):
+        # ``any`` is the top of the *class* hierarchy: every class (and
+        # nothing else) is below it.
+        return isinstance(sub, (ClassType, AnyType))
+    if isinstance(sub, AnyType):
+        return False
+
+    if isinstance(sub, ClassType) and isinstance(sup, ClassType):
+        return sub.name == sup.name or class_leq(sub.name, sup.name)
+
+    if isinstance(sub, AtomicType) or isinstance(sup, AtomicType):
+        return sub == sup
+
+    if isinstance(sub, SetType) and isinstance(sup, SetType):
+        return is_subtype(sub.element, sup.element, class_leq)
+
+    if isinstance(sub, ListType) and isinstance(sup, ListType):
+        return is_subtype(sub.element, sup.element, class_leq)
+
+    if isinstance(sub, TupleType) and isinstance(sup, TupleType):
+        return _tuple_subtype(sub, sup, class_leq)
+
+    if isinstance(sub, TupleType) and isinstance(sup, UnionType):
+        # New rule 1: [ai: ti] <= (... + ai: ti' + ...), generalised by
+        # transitivity: a tuple is below a union when at least one of its
+        # attributes matches a branch of the union (the tuple can always be
+        # narrowed to the one-field tuple first).
+        return any(
+            sup.has_marker(name)
+            and is_subtype(field, sup.branch_type(name), class_leq)
+            for name, field in sub.fields)
+
+    if isinstance(sub, UnionType) and isinstance(sup, UnionType):
+        # Every alternative of ``sub`` must be an alternative of ``sup``
+        # with a smaller-or-equal payload.
+        return all(
+            sup.has_marker(marker)
+            and is_subtype(branch, sup.branch_type(marker), class_leq)
+            for marker, branch in sub.branches)
+
+    if isinstance(sub, TupleType) and isinstance(sup, ListType):
+        # New rule 2: the tuple viewed as a heterogeneous list.  Each field
+        # ``ai: ti`` becomes the one-field tuple ``[ai: ti]`` which must sit
+        # below the list's element type.
+        return all(
+            is_subtype(TupleType([(name, field)]), sup.element, class_leq)
+            for name, field in sub.fields)
+
+    return False
+
+
+def _tuple_subtype(sub: TupleType, sup: TupleType, class_leq) -> bool:
+    """O₂ tuple subtyping adapted to ordered tuples.
+
+    ``sub`` may have extra attributes but must contain every attribute of
+    ``sup`` **in the same relative order** (the paper's ``dom`` for tuple
+    types appends extra attributes at the end of the required prefix; we
+    take the slightly more permissive order-preserving-subsequence reading
+    so that attribute projection is always well-defined).
+    """
+    sub_names = sub.attribute_names
+    position = -1
+    for name, sup_field in sup.fields:
+        try:
+            found = sub_names.index(name)
+        except ValueError:
+            return False
+        if found < position:
+            return False
+        position = found
+        if not is_subtype(sub.field_type(name), sup_field, class_leq):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Least common supertype (Section 4.2)
+# ---------------------------------------------------------------------------
+
+
+def common_supertype(left: Type, right: Type, class_leq=_no_classes,
+                     class_join=None) -> Type:
+    """The least common supertype, or raise :class:`SubtypingError`.
+
+    ``class_join(c1, c2)`` may be supplied by the schema to join two class
+    names (returning a class name or ``None``); without it, distinct class
+    names join at ``any``.
+    """
+    if is_subtype(left, right, class_leq):
+        return right
+    if is_subtype(right, left, class_leq):
+        return left
+
+    if isinstance(left, ClassType) and isinstance(right, ClassType):
+        if class_join is not None:
+            joined = class_join(left.name, right.name)
+            if joined is not None:
+                return ClassType(joined)
+        return ANY
+
+    if isinstance(left, ListType) and isinstance(right, ListType):
+        return ListType(common_supertype(
+            left.element, right.element, class_leq, class_join))
+
+    if isinstance(left, SetType) and isinstance(right, SetType):
+        return SetType(common_supertype(
+            left.element, right.element, class_leq, class_join))
+
+    if isinstance(left, TupleType) and isinstance(right, TupleType):
+        return _tuple_join(left, right, class_leq, class_join)
+
+    if isinstance(left, UnionType) and isinstance(right, UnionType):
+        return merge_unions(left, right, class_leq, class_join)
+
+    # Rule 1 of Section 4.2: no common supertype between a union type and a
+    # non-union type (and, more generally, across constructors).
+    raise SubtypingError(
+        f"no common supertype between {left} and {right}")
+
+
+def _tuple_join(left: TupleType, right: TupleType, class_leq,
+                class_join) -> Type:
+    """Join two tuple types on their shared attributes.
+
+    The result keeps the attributes common to both (in ``left``'s order,
+    which must be consistent with ``right``'s) with joined field types.
+    An empty intersection means the tuples are unrelated.
+    """
+    shared: list[tuple[str, Type]] = []
+    position = -1
+    for name, left_field in left.fields:
+        if not right.has_attribute(name):
+            continue
+        rank = right.position_of(name)
+        if rank < position:
+            raise SubtypingError(
+                f"tuple attribute order conflict on {name!r} between "
+                f"{left} and {right}")
+        position = rank
+        shared.append((name, common_supertype(
+            left_field, right.field_type(name), class_leq, class_join)))
+    if not shared:
+        raise SubtypingError(
+            f"no common supertype between {left} and {right} "
+            "(no shared attribute)")
+    return TupleType(shared)
+
+
+def merge_unions(left: UnionType, right: UnionType, class_leq=_no_classes,
+                 class_join=None) -> UnionType:
+    """Merge two marked unions per Section 4.2, rule 2.
+
+    The result carries every marker of both unions.  A *marker conflict* —
+    the same marker with payload types that have no common supertype —
+    raises :class:`SubtypingError`.  E.g. the least common supertype of
+    ``(a:integer + b:char)`` and ``(b:char + c:string)`` is
+    ``(a:integer + b:char + c:string)``.
+    """
+    branches: list[tuple[str, Type]] = []
+    for marker, branch in left.branches:
+        if right.has_marker(marker):
+            try:
+                joined = common_supertype(
+                    branch, right.branch_type(marker), class_leq, class_join)
+            except SubtypingError as exc:
+                raise SubtypingError(
+                    f"marker conflict on {marker!r}: {exc}") from exc
+            branches.append((marker, joined))
+        else:
+            branches.append((marker, branch))
+    for marker, branch in right.branches:
+        if not left.has_marker(marker):
+            branches.append((marker, branch))
+    return UnionType(branches)
+
+
+def union_all(types: "list[Type]", class_leq=_no_classes,
+              class_join=None) -> Type:
+    """Fold :func:`common_supertype` over a non-empty list of types."""
+    if not types:
+        raise SubtypingError("cannot join an empty list of types")
+    result = types[0]
+    for tp in types[1:]:
+        result = common_supertype(result, tp, class_leq, class_join)
+    return result

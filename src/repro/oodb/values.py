@@ -1,0 +1,332 @@
+"""Values of the extended O₂ data model (Section 5.1).
+
+A *value* over a set of oids ``O`` is:
+
+* ``nil`` (the undefined value),
+* an atomic value (int, str, bool, float),
+* an oid,
+* an ordered tuple ``[a1: v1, ..., an: vn]``,
+* a set ``{v1, ..., vn}``,
+* a list ``[v1, ..., vn]``.
+
+Marked-union values are one-field tuples ``[ai: v]``; a dedicated
+:class:`UnionValue` alias constructor is provided for readability but it
+*is* a :class:`TupleValue` — exactly the paper's identification.
+
+Ordered tuples compare order-sensitively: ``[a:1, b:2] != [b:2, a:1]``
+(Section 5.1).  The equivalence ``[a1:v1,...,an:vn] ≡ [[a1:v1],...,[an:vn]]``
+(tuple as heterogeneous list) is *not* folded into ``==``; it is exposed as
+:func:`equivalent` and :meth:`TupleValue.as_heterogeneous_list`, which is
+what the evaluator uses for positional access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ValueError_
+
+#: Python types accepted as atomic database values.
+ATOM_PYTYPES = (int, str, bool, float)
+
+
+class Nil:
+    """The singleton undefined value ``nil``."""
+
+    _instance: "Nil | None" = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Nil)
+
+    def __hash__(self) -> int:
+        return hash("nil")
+
+    def __repr__(self) -> str:
+        return "nil"
+
+
+NIL = Nil()
+
+
+class Oid:
+    """An object identifier.
+
+    Oids are pure identities: two oids are equal iff they are the same
+    allocation.  The ``number`` is assigned by the instance's allocator and
+    the ``class_name`` records the (most specific) class the oid was
+    allocated in — this is what the *restricted* path semantics needs to
+    forbid two dereferences through the same class.
+    """
+
+    __slots__ = ("number", "class_name")
+
+    def __init__(self, number: int, class_name: str) -> None:
+        self.number = number
+        self.class_name = class_name
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Oid) and other.number == self.number
+                and other.class_name == self.class_name)
+
+    def __hash__(self) -> int:
+        return hash(("oid", self.number))
+
+    def __repr__(self) -> str:
+        return f"o{self.number}:{self.class_name}"
+
+
+class TupleValue:
+    """An **ordered** tuple value ``[a1: v1, ..., an: vn]``.
+
+    Attribute order is significant for equality.  Duplicate attribute names
+    are rejected.
+    """
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields: Iterable[tuple[str, object]]) -> None:
+        frozen = tuple(fields)
+        index: dict[str, object] = {}
+        for name, value in frozen:
+            if not isinstance(name, str) or not name:
+                raise ValueError_(
+                    f"tuple attribute name must be a non-empty string, "
+                    f"got {name!r}")
+            if name in index:
+                raise ValueError_(f"duplicate tuple attribute {name!r}")
+            index[name] = value
+        self.fields = frozen
+        self._index = index
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def get(self, name: str) -> object:
+        """Value of attribute ``name``; raises ``KeyError`` when absent."""
+        return self._index[name]
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._index
+
+    def position_of(self, name: str) -> int:
+        for i, (field_name, _) in enumerate(self.fields):
+            if field_name == name:
+                return i
+        raise KeyError(name)
+
+    def replace(self, name: str, value: object) -> "TupleValue":
+        """A copy with attribute ``name`` rebound to ``value``."""
+        if name not in self._index:
+            raise KeyError(name)
+        return TupleValue(
+            (n, value if n == name else v) for n, v in self.fields)
+
+    def as_heterogeneous_list(self) -> "ListValue":
+        """The paper's tuple-as-list view: ``[[a1:v1], ..., [an:vn]]``.
+
+        Each element is a one-field (marked) tuple, so positional access
+        ``t[i]`` yields the i-th field *with* its marker — exactly what
+        query (†) of Section 5.3 matches on.
+        """
+        return ListValue(
+            TupleValue([(name, value)]) for name, value in self.fields)
+
+    @property
+    def is_marked(self) -> bool:
+        """True when this is a one-field tuple, i.e. a marked-union value."""
+        return len(self.fields) == 1
+
+    @property
+    def marker(self) -> str:
+        """The marker of a one-field tuple (union value)."""
+        if not self.is_marked:
+            raise ValueError_(
+                f"value {self!r} has {len(self.fields)} fields, not 1")
+        return self.fields[0][0]
+
+    @property
+    def marked_value(self) -> object:
+        """The payload of a one-field tuple (union value)."""
+        if not self.is_marked:
+            raise ValueError_(
+                f"value {self!r} has {len(self.fields)} fields, not 1")
+        return self.fields[0][1]
+
+    def __iter__(self) -> Iterator[tuple[str, object]]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleValue) and other.fields == self.fields
+
+    def __hash__(self) -> int:
+        return hash(("tuplev", self.fields))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {v!r}" for n, v in self.fields)
+        return f"[{inner}]"
+
+
+def UnionValue(marker: str, value: object) -> TupleValue:
+    """A marked-union value — by definition the one-field tuple ``[m: v]``."""
+    return TupleValue([(marker, value)])
+
+
+class ListValue:
+    """An ordered, indexable collection value."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        self.items = tuple(items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ListValue(self.items[index])
+        return self.items[index]
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ListValue) and other.items == self.items
+
+    def __hash__(self) -> int:
+        return hash(("listv", self.items))
+
+    def __add__(self, other: "ListValue") -> "ListValue":
+        if not isinstance(other, ListValue):
+            return NotImplemented
+        return ListValue(self.items + other.items)
+
+    def __repr__(self) -> str:
+        return "list(" + ", ".join(repr(v) for v in self.items) + ")"
+
+
+class SetValue:
+    """An unordered collection value with set semantics.
+
+    Elements must be hashable (all model values are).  Iteration order is
+    deterministic (insertion order of the de-duplicated elements) so that
+    query results are reproducible.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        seen: dict[object, None] = {}
+        for item in items:
+            if item not in seen:
+                seen[item] = None
+        self.items = tuple(seen)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self.items
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SetValue)
+                and frozenset(other.items) == frozenset(self.items))
+
+    def __hash__(self) -> int:
+        return hash(("setv", frozenset(self.items)))
+
+    def union(self, other: "SetValue") -> "SetValue":
+        return SetValue(self.items + other.items)
+
+    def intersection(self, other: "SetValue") -> "SetValue":
+        return SetValue(v for v in self.items if v in other)
+
+    def difference(self, other: "SetValue") -> "SetValue":
+        return SetValue(v for v in self.items if v not in other)
+
+    def issubset(self, other: "SetValue") -> bool:
+        return all(v in other for v in self.items)
+
+    def __repr__(self) -> str:
+        return "set(" + ", ".join(repr(v) for v in self.items) + ")"
+
+
+#: Union of every model value class, for isinstance checks.
+MODEL_VALUE_TYPES = (Nil, Oid, TupleValue, ListValue, SetValue) + ATOM_PYTYPES
+
+
+def is_value(candidate: object) -> bool:
+    """True when ``candidate`` is a well-formed model value (recursively)."""
+    if isinstance(candidate, (Nil, Oid)):
+        return True
+    if isinstance(candidate, bool):
+        return True
+    if isinstance(candidate, ATOM_PYTYPES):
+        return True
+    if isinstance(candidate, TupleValue):
+        return all(is_value(v) for _, v in candidate.fields)
+    if isinstance(candidate, (ListValue, SetValue)):
+        return all(is_value(v) for v in candidate)
+    return False
+
+
+def equivalent(left: object, right: object) -> bool:
+    """The ``≡`` relation of Section 5.1.
+
+    Plain equality, extended with the tuple/heterogeneous-list
+    identification: ``[a1:v1,...,an:vn] ≡ [[a1:v1],...,[an:vn]]``.
+    """
+    if left == right:
+        return True
+    if isinstance(left, TupleValue) and isinstance(right, ListValue):
+        return _tuple_list_equiv(left, right)
+    if isinstance(right, TupleValue) and isinstance(left, ListValue):
+        return _tuple_list_equiv(right, left)
+    if isinstance(left, ListValue) and isinstance(right, ListValue):
+        return (len(left) == len(right)
+                and all(equivalent(a, b) for a, b in zip(left, right)))
+    if isinstance(left, TupleValue) and isinstance(right, TupleValue):
+        return (left.attribute_names == right.attribute_names
+                and all(equivalent(a, b)
+                        for (_, a), (_, b)
+                        in zip(left.fields, right.fields)))
+    if isinstance(left, SetValue) and isinstance(right, SetValue):
+        if len(left) != len(right):
+            return False
+        return all(any(equivalent(a, b) for b in right) for a in left)
+    return False
+
+
+def _tuple_list_equiv(tup: TupleValue, lst: ListValue) -> bool:
+    if len(tup) != len(lst):
+        return False
+    for (name, value), element in zip(tup.fields, lst):
+        if not (isinstance(element, TupleValue) and element.is_marked
+                and element.marker == name
+                and equivalent(element.marked_value, value)):
+            return False
+    return True
+
+
+def deep_size(value: object) -> int:
+    """Number of nodes in a value tree (used by storage benchmarks)."""
+    if isinstance(value, TupleValue):
+        return 1 + sum(deep_size(v) for _, v in value.fields)
+    if isinstance(value, (ListValue, SetValue)):
+        return 1 + sum(deep_size(v) for v in value)
+    return 1

@@ -1,0 +1,117 @@
+"""Enumeration of concrete paths from a value (Section 5.2).
+
+``paths_from(value, instance)`` yields every ``(path, reached value)``
+pair, starting with the empty path ("which possibly is the empty path",
+Section 4.3).  Two semantics control how object dereferences may repeat:
+
+* **restricted** (the paper's default) — a path never contains two
+  dereferences of objects *allocated in the same class*.  This bounds the
+  path length by the schema, guarantees safety and enables the
+  algebraization of Section 5.4.
+* **liberal** — a path never visits the same *object* twice.  Lengths are
+  then data-bounded; this is the semantics the paper recommends for
+  hypertext navigation.
+
+Enumeration order is deterministic (document order of the value tree).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EvaluationError
+from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
+from repro.paths.steps import (
+    AttrStep,
+    DEREF,
+    ElemStep,
+    IndexStep,
+    Path,
+)
+
+RESTRICTED = "restricted"
+LIBERAL = "liberal"
+
+_SEMANTICS = (RESTRICTED, LIBERAL)
+
+
+def paths_from(value: object, instance=None,
+               semantics: str = RESTRICTED,
+               max_paths: int | None = None) -> Iterator[tuple[Path, object]]:
+    """Yield ``(path, reached_value)`` for every concrete path from
+    ``value`` — the valuation set of a path variable rooted there.
+
+    ``max_paths`` guards against very large values (raises when
+    exceeded); ``None`` means unbounded.
+    """
+    if semantics not in _SEMANTICS:
+        raise EvaluationError(
+            f"unknown path semantics {semantics!r}; "
+            f"use one of {_SEMANTICS}")
+    counter = _Counter(max_paths)
+    yield from _walk(value, instance, semantics, Path.EMPTY,
+                     frozenset(), counter)
+
+
+class _Counter:
+    __slots__ = ("limit", "count")
+
+    def __init__(self, limit: int | None) -> None:
+        self.limit = limit
+        self.count = 0
+
+    def tick(self) -> None:
+        self.count += 1
+        if self.limit is not None and self.count > self.limit:
+            raise EvaluationError(
+                f"path enumeration exceeded {self.limit} paths")
+
+
+def _walk(value: object, instance, semantics: str, prefix: Path,
+          visited: frozenset, counter: _Counter
+          ) -> Iterator[tuple[Path, object]]:
+    counter.tick()
+    yield prefix, value
+    if isinstance(value, TupleValue):
+        for name, field in value.fields:
+            yield from _walk(field, instance, semantics,
+                             prefix.extended(AttrStep(name)),
+                             visited, counter)
+    elif isinstance(value, ListValue):
+        for index, element in enumerate(value):
+            yield from _walk(element, instance, semantics,
+                             prefix.extended(IndexStep(index)),
+                             visited, counter)
+    elif isinstance(value, SetValue):
+        for element in value:
+            yield from _walk(element, instance, semantics,
+                             prefix.extended(ElemStep(element)),
+                             visited, counter)
+    elif isinstance(value, Oid) and instance is not None:
+        marker = value.class_name if semantics == RESTRICTED else value
+        if marker in visited:
+            return
+        yield from _walk(instance.deref(value), instance, semantics,
+                         prefix.extended(DEREF),
+                         visited | {marker}, counter)
+
+
+def enumerate_paths(value: object, instance=None,
+                    semantics: str = RESTRICTED,
+                    max_paths: int | None = None) -> list[Path]:
+    """The set of concrete paths from ``value`` as a list.
+
+    This is the valuation the paper's query
+    ``my_article PATH_p`` returns, and the operand of the Q4 structural
+    difference.
+    """
+    return [path for path, _ in paths_from(
+        value, instance, semantics, max_paths)]
+
+
+def path_difference(new_value: object, old_value: object, instance=None,
+                    semantics: str = RESTRICTED) -> list[Path]:
+    """Q4: paths present in ``new_value`` but not in ``old_value``."""
+    old_paths = set(enumerate_paths(old_value, instance, semantics))
+    return [path for path in enumerate_paths(new_value, instance, semantics)
+            if path not in old_paths]

@@ -1,0 +1,49 @@
+"""Interpreted functions on path values (Section 4.3, item 4).
+
+The paper illustrates with ``P = .sections[0].subsectns[0]``:
+``length(P) = 4`` (each attribute and index step counts) and
+``P[0:1] = .sections[0]`` — note the *inclusive* upper bound of the
+paper's projection, which :func:`path_project` reproduces.  These
+functions are registered in the calculus's interpreted-function registry
+and surface in O2SQL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.paths.steps import Path
+
+
+def path_length(path: Path) -> int:
+    """``length(P)`` — the number of concrete steps."""
+    if not isinstance(path, Path):
+        raise EvaluationError(f"length() expects a path, got {path!r}")
+    return len(path)
+
+
+def path_project(path: Path, start: int, end: int) -> Path:
+    """``P[start:end]`` with the paper's inclusive bounds.
+
+    ``path_project(P, 0, 1)`` keeps steps 0 and 1 — for
+    ``P = .sections[0].subsectns[0]`` that is ``.sections[0]``.
+    """
+    if not isinstance(path, Path):
+        raise EvaluationError(f"projection expects a path, got {path!r}")
+    if start < 0 or end < start:
+        raise EvaluationError(
+            f"bad projection bounds [{start}:{end}]")
+    return Path(path.steps[start:end + 1])
+
+
+def path_startswith(path: Path, prefix: Path) -> bool:
+    """``startswith(P, Q)`` — is ``Q`` a prefix of ``P``?"""
+    if not isinstance(path, Path) or not isinstance(prefix, Path):
+        raise EvaluationError("startswith() expects two paths")
+    return path.startswith(prefix)
+
+
+def path_concat(left: Path, right: Path) -> Path:
+    """``concat(P, Q)`` — path concatenation."""
+    if not isinstance(left, Path) or not isinstance(right, Path):
+        raise EvaluationError("concat() expects two paths")
+    return left + right

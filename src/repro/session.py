@@ -1,0 +1,224 @@
+"""The high-level facade: :class:`DocumentStore`.
+
+One object that walks the paper end to end — parse a DTD (Figure 1),
+map it to a schema (Figure 3), load documents (Figure 2), name
+individual documents as persistence roots (``my_article``), and run
+extended-O₂SQL queries (Q1–Q6)::
+
+    store = DocumentStore(ARTICLE_DTD)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    titles = store.query("select t from my_article PATH_p.title(t)")
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.mapping.dtd_to_schema import MappedSchema, map_dtd
+from repro.mapping.loader import DocumentLoader
+from repro.mapping.text_inverse import text_of
+from repro.o2sql.engine import QueryEngine
+from repro.oodb.display import format_schema
+from repro.oodb.store import ObjectStore
+from repro.oodb.types import ClassType
+from repro.oodb.values import Oid, SetValue
+from repro.sgml.dtd_parser import parse_dtd
+from repro.sgml.instance import Element
+from repro.sgml.instance_parser import parse_document
+from repro.sgml.validator import validation_problems
+from repro.text.index import TextIndex
+
+
+class DocumentStore:
+    """An SGML document database over the extended O₂ model."""
+
+    def __init__(self, dtd_text: str, path_semantics: str = "restricted",
+                 backend: str = "calculus") -> None:
+        self.dtd = parse_dtd(dtd_text)
+        problems = self.dtd.check()
+        if problems:
+            raise MappingError(
+                "DTD problems: " + "; ".join(problems))
+        self.mapped: MappedSchema = map_dtd(self.dtd)
+        self.loader = DocumentLoader(self.mapped)
+        self.store = ObjectStore(self.loader.instance)
+        self._engine = QueryEngine(
+            self.loader.instance, self.loader.provenance,
+            path_semantics=path_semantics, backend=backend)
+        self.text_index: TextIndex | None = None
+
+    # -- loading ---------------------------------------------------------------
+
+    @property
+    def instance(self):
+        return self.loader.instance
+
+    @property
+    def schema(self):
+        return self.mapped.schema
+
+    def load_text(self, document_text: str, name: str | None = None,
+                  validate: bool = True) -> Oid:
+        """Parse and load one SGML document; optionally register the
+        document object under a persistence name (``my_article``)."""
+        tree = parse_document(document_text, self.dtd)
+        return self.load_tree(tree, name=name, validate=validate)
+
+    def load_tree(self, tree: Element, name: str | None = None,
+                  validate: bool = True) -> Oid:
+        if validate:
+            problems = validation_problems(tree, self.dtd)
+            if problems:
+                raise MappingError(
+                    "invalid document: " + "; ".join(problems))
+        oid = self.loader.load(tree)
+        if name is not None:
+            self.define_name(name, oid)
+        return oid
+
+    def define_name(self, name: str, value: object) -> None:
+        """Register an extra persistence root (an O₂ *name*)."""
+        if isinstance(value, Oid):
+            declared = ClassType(value.class_name)
+        else:
+            from repro.oodb.typecheck import infer_value_type
+            declared = infer_value_type(value, self.instance)
+        self.schema.roots[name] = declared
+        self.instance.set_root(name, value)
+
+    # -- integrity ------------------------------------------------------------
+
+    def check(self) -> None:
+        """Typing (Section 5.1) and constraints (Figure 3)."""
+        self.instance.check()
+        self.mapped.constraints.check_instance(self.instance)
+
+    # -- text indexing (Section 4.1) ---------------------------------------------
+
+    def build_text_index(self) -> TextIndex:
+        """Index the textual content of every object (oid-keyed)."""
+        index = TextIndex()
+        for oid in self.instance.all_oids():
+            content = text_of(oid, self.instance, self.loader.provenance)
+            if content:
+                index.add(oid, content)
+        self.text_index = index
+        self._engine.ctx.text_index = index
+        return index
+
+    # -- querying --------------------------------------------------------------
+
+    def query(self, text: str) -> SetValue:
+        """Run extended O₂SQL; the result is always a set."""
+        return self._engine.run(text)
+
+    def explain(self, text: str) -> str:
+        return self._engine.explain(text)
+
+    def check_query(self, text: str) -> dict:
+        return self._engine.check(text)
+
+    def text(self, value: object) -> str:
+        """The ``text()`` operator (inverse mapping)."""
+        return text_of(value, self.instance, self.loader.provenance)
+
+    # -- inverse mapping (footnote 1 / Section 6) ---------------------------
+
+    def export_document(self, document: Oid | str) -> Element:
+        """Rebuild the SGML tree of a loaded (possibly updated)
+        document from its database objects."""
+        from repro.mapping.inverse import export_document
+        if isinstance(document, str):
+            document = self.instance.root(document)
+        return export_document(self.mapped, self.instance, document,
+                               self.loader.id_tokens)
+
+    def export_text(self, document: Oid | str,
+                    minimize: bool = False) -> str:
+        """The exported tree serialised back to SGML text."""
+        from repro.sgml.writer import write_document
+        return write_document(self.export_document(document), self.dtd,
+                              minimize=minimize)
+
+    def export_dtd(self) -> str:
+        """Regenerate DTD text from the mapped schema."""
+        from repro.mapping.inverse import schema_to_dtd
+        return schema_to_dtd(self.mapped)
+
+    def update_text(self, oid: Oid, new_text: str) -> None:
+        """Edit the character data of a #PCDATA-bearing object in the
+        database (Section 6's update direction).  The change is visible
+        to queries and to :meth:`export_document`."""
+        value = self.instance.deref(oid)
+        from repro.oodb.values import TupleValue
+        from repro.mapping.naming import TEXT_FIELD
+        if not (isinstance(value, TupleValue)
+                and value.has_attribute(TEXT_FIELD)):
+            raise MappingError(
+                f"object {oid!r} carries no character data")
+        self.store.update_object(oid, value.replace(TEXT_FIELD, new_text))
+        # The source-document snapshot is stale for this object and all
+        # its ancestors; drop provenance entirely so text() switches to
+        # the (always current) structural reconstruction.
+        self.loader.provenance.clear()
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Snapshot the whole database to a file; returns bytes
+        written.  The DTD is saved alongside (``<path>.dtd``) so
+        :meth:`load` can rebuild the schema."""
+        import os
+        written = self.store.save(path)
+        with open(f"{os.fspath(path)}.dtd", "w") as handle:
+            handle.write(self._dtd_source())
+        return written
+
+    def _dtd_source(self) -> str:
+        from repro.mapping.inverse import schema_to_dtd
+        return schema_to_dtd(self.mapped)
+
+    @classmethod
+    def load(cls, path) -> "DocumentStore":
+        """Rebuild a store from :meth:`save` output.
+
+        Loader provenance is not persisted: ``text()`` uses the (always
+        correct) structural reconstruction after a reload, and documents
+        can be re-exported via the inverse mapping.
+        """
+        import os
+        from repro.oodb.store import ObjectStore
+        from repro.oodb.types import ANY, ClassType
+        from repro.oodb.values import Oid
+        with open(f"{os.fspath(path)}.dtd") as handle:
+            dtd_text = handle.read()
+        store = cls(dtd_text)
+
+        def declare(name: str, value: object) -> None:
+            if isinstance(value, Oid):
+                store.schema.roots[name] = ClassType(value.class_name)
+            else:
+                from repro.oodb.typecheck import infer_value_type
+                store.schema.roots[name] = infer_value_type(value)
+
+        restored = ObjectStore.load(store.schema, path, declare)
+        store.loader.instance = restored.instance
+        store.store = ObjectStore(restored.instance)
+        store._engine = QueryEngine(
+            restored.instance, provenance=None,
+            path_semantics=store._engine.ctx.path_semantics,
+            backend=store._engine.backend)
+        return store
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe_schema(self) -> str:
+        """The Figure-3 rendering of the mapped schema."""
+        return format_schema(self.schema, self.mapped.constraints)
+
+    def stats(self) -> dict:
+        return {
+            "documents": len(self.instance.root(self.mapped.root_name)),
+            "objects": self.instance.object_count(),
+            "classes": len(self.schema.class_names),
+            "bytes": self.store.total_bytes(),
+        }

@@ -1,0 +1,42 @@
+"""The SGML substrate (Section 2).
+
+Replaces the Euroclid SGML parser used by the authors: a DTD parser, a
+document-instance parser with omitted-tag inference, a validator and a
+writer.  Content models are compiled to Glushkov automata for validation
+and tag inference.
+"""
+
+from repro.sgml.contentmodel import (
+    AndGroup,
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementRef,
+    Empty,
+    Opt,
+    PCData,
+    Plus,
+    Seq,
+    Star,
+    parse_content_model,
+)
+from repro.sgml.dtd import (
+    AttDef,
+    AttlistDecl,
+    Dtd,
+    ElementDecl,
+    EntityDecl,
+)
+from repro.sgml.dtd_parser import parse_dtd
+from repro.sgml.instance import Element, Text, iter_elements
+from repro.sgml.instance_parser import parse_document
+from repro.sgml.validator import validate
+from repro.sgml.writer import write_document
+
+__all__ = [
+    "AndGroup", "AnyContent", "AttDef", "AttlistDecl", "Choice",
+    "ContentModel", "Dtd", "Element", "ElementDecl", "ElementRef", "Empty",
+    "EntityDecl", "Opt", "PCData", "Plus", "Seq", "Star", "Text",
+    "iter_elements", "parse_content_model", "parse_document", "parse_dtd",
+    "validate", "write_document",
+]

@@ -1,0 +1,272 @@
+"""Glushkov automata for SGML content models.
+
+Each content model compiles to a position automaton (Glushkov
+construction) and then, by subset construction, to a DFA.  The DFA drives
+
+* validation — run the sequence of child names through it,
+* omitted-tag inference — ``allowed(state)`` tells which children may come
+  next, ``can_finish(state)`` whether the element may end here.
+
+``&`` and-groups denote "all parts, each exactly once, in any order"; they
+are rewritten into a choice over the permutations of their parts before
+the construction (with a size guard — SGML processors traditionally have
+the same practical limit).
+
+SGML requires content models to be *unambiguous* (1-unambiguous in formal
+terms); :func:`ambiguity_witness` reports a witness when a model is not.
+The DFA is exact either way, so validation does not depend on it — the
+check exists because a conforming SGML implementation must be able to
+flag such models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.errors import ContentModelError
+from repro.sgml.contentmodel import (
+    AndGroup,
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementRef,
+    Empty,
+    Opt,
+    PCData,
+    PCDATA_NAME,
+    Plus,
+    Seq,
+    Star,
+)
+
+#: And-groups beyond this many parts are rejected (factorial expansion).
+MAX_AND_GROUP = 6
+
+
+def expand_and_groups(model: ContentModel) -> ContentModel:
+    """Rewrite every ``&`` group into a choice over permutations."""
+    if isinstance(model, AndGroup):
+        parts = [expand_and_groups(p) for p in model.parts]
+        if len(parts) > MAX_AND_GROUP:
+            raise ContentModelError(
+                f"and-group with {len(parts)} parts exceeds the supported "
+                f"maximum of {MAX_AND_GROUP}")
+        if len(parts) == 1:
+            return parts[0]
+        alternatives = [Seq(list(perm))
+                        for perm in itertools.permutations(parts)]
+        return Choice(alternatives)
+    if isinstance(model, Seq):
+        return Seq([expand_and_groups(p) for p in model.parts])
+    if isinstance(model, Choice):
+        return Choice([expand_and_groups(p) for p in model.parts])
+    if isinstance(model, Opt):
+        return Opt(expand_and_groups(model.child))
+    if isinstance(model, Plus):
+        return Plus(expand_and_groups(model.child))
+    if isinstance(model, Star):
+        return Star(expand_and_groups(model.child))
+    return model
+
+
+class _Glushkov:
+    """Position sets of the Glushkov construction."""
+
+    def __init__(self) -> None:
+        self.symbols: list[str] = []  # symbol of each position (1-based)
+        self.first: set[int] = set()
+        self.last: set[int] = set()
+        self.follow: dict[int, set[int]] = {}
+        self.nullable = False
+
+    def new_position(self, symbol: str) -> int:
+        self.symbols.append(symbol)
+        position = len(self.symbols)
+        self.follow[position] = set()
+        return position
+
+    def symbol_of(self, position: int) -> str:
+        return self.symbols[position - 1]
+
+
+def _build(model: ContentModel, g: _Glushkov) -> tuple[set[int], set[int], bool]:
+    """Return (first, last, nullable) of ``model``, registering positions."""
+    if isinstance(model, (Empty, AnyContent)):
+        return set(), set(), True
+    if isinstance(model, PCData):
+        # PCDATA is nullable (text may be empty) yet occupies a position so
+        # that mixed-content transitions exist.
+        p = g.new_position(PCDATA_NAME)
+        # text can repeat: #PCDATA behaves like PCDATA*
+        g.follow[p].add(p)
+        return {p}, {p}, True
+    if isinstance(model, ElementRef):
+        p = g.new_position(model.name)
+        return {p}, {p}, False
+    if isinstance(model, Seq):
+        first: set[int] = set()
+        last: set[int] = set()
+        nullable = True
+        for part in model.parts:
+            p_first, p_last, p_nullable = _build(part, g)
+            for position in last:
+                g.follow[position] |= p_first
+            if nullable:
+                first |= p_first
+            if p_nullable:
+                last |= p_last
+            else:
+                last = set(p_last)
+            nullable = nullable and p_nullable
+        return first, last, nullable
+    if isinstance(model, Choice):
+        first, last = set(), set()
+        nullable = False
+        for part in model.parts:
+            p_first, p_last, p_nullable = _build(part, g)
+            first |= p_first
+            last |= p_last
+            nullable = nullable or p_nullable
+        return first, last, nullable
+    if isinstance(model, Opt):
+        first, last, _ = _build(model.child, g)
+        return first, last, True
+    if isinstance(model, (Plus, Star)):
+        first, last, nullable = _build(model.child, g)
+        for position in last:
+            g.follow[position] |= first
+        return first, last, nullable or isinstance(model, Star)
+    if isinstance(model, AndGroup):
+        raise ContentModelError(
+            "and-groups must be expanded before the Glushkov construction")
+    raise ContentModelError(f"unknown content model node: {model!r}")
+
+
+class ContentAutomaton:
+    """A DFA over child-element names (plus the #PCDATA pseudo-symbol)."""
+
+    def __init__(self, model: ContentModel) -> None:
+        self.model = model
+        self.any_content = isinstance(model, AnyContent)
+        expanded = expand_and_groups(model)
+        g = _Glushkov()
+        first, last, nullable = _build(expanded, g)
+        g.first, g.last, g.nullable = first, last, nullable
+        self._glushkov = g
+        self._states: list[frozenset[int]] = []
+        self._state_ids: dict[frozenset[int], int] = {}
+        self._transitions: list[dict[str, int]] = []
+        self._accepting: list[bool] = []
+        self._subset_construction()
+
+    # -- construction -----------------------------------------------------------
+
+    def _state_id(self, positions: frozenset[int]) -> int:
+        existing = self._state_ids.get(positions)
+        if existing is not None:
+            return existing
+        state = len(self._states)
+        self._states.append(positions)
+        self._state_ids[positions] = state
+        self._transitions.append({})
+        g = self._glushkov
+        accepting = bool(positions & g.last) or (
+            positions == frozenset({0}) and g.nullable)
+        self._accepting.append(accepting)
+        return state
+
+    def _subset_construction(self) -> None:
+        g = self._glushkov
+        start = frozenset({0})
+        self._state_id(start)
+        worklist = [start]
+        while worklist:
+            current = worklist.pop()
+            state = self._state_ids[current]
+            targets: dict[str, set[int]] = {}
+            for position in current:
+                successors = g.first if position == 0 else g.follow[position]
+                for successor in successors:
+                    targets.setdefault(
+                        g.symbol_of(successor), set()).add(successor)
+            for symbol, next_positions in targets.items():
+                next_frozen = frozenset(next_positions)
+                known = next_frozen in self._state_ids
+                next_state = self._state_id(next_frozen)
+                self._transitions[state][symbol] = next_state
+                if not known:
+                    worklist.append(next_frozen)
+
+    # -- use ------------------------------------------------------------------------
+
+    @property
+    def start_state(self) -> int:
+        return 0
+
+    def step(self, state: int, symbol: str) -> int | None:
+        """The successor state, or ``None`` when ``symbol`` is not allowed."""
+        if self.any_content:
+            return 0
+        return self._transitions[state].get(symbol)
+
+    def is_accepting(self, state: int) -> bool:
+        if self.any_content:
+            return True
+        return self._accepting[state]
+
+    def allowed(self, state: int) -> frozenset[str]:
+        """Symbols with an outgoing transition from ``state``."""
+        if self.any_content:
+            return frozenset()
+        return frozenset(self._transitions[state])
+
+    def accepts(self, symbols: Iterable[str]) -> bool:
+        """Run a whole child-name sequence through the DFA."""
+        state: int | None = self.start_state
+        for symbol in symbols:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return self.is_accepting(state)
+
+    @property
+    def state_count(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ContentAutomaton({self.model}, "
+                f"{self.state_count} states)")
+
+
+def ambiguity_witness(model: ContentModel) -> str | None:
+    """Return a description of a 1-ambiguity, or ``None`` if unambiguous.
+
+    A model is 1-ambiguous when two distinct Glushkov positions carrying
+    the same symbol compete in ``first`` or in some ``follow`` set — the
+    parser could not know, on seeing the symbol, which occurrence it is
+    matching.  (Only relevant to strict SGML conformance; our DFA-based
+    validator is exact regardless.)
+    """
+    expanded = expand_and_groups(model)
+    g = _Glushkov()
+    first, last, nullable = _build(expanded, g)
+
+    def conflict(positions: set[int]) -> str | None:
+        seen: dict[str, int] = {}
+        for position in sorted(positions):
+            symbol = g.symbol_of(position)
+            if symbol in seen:
+                return symbol
+            seen[symbol] = position
+        return None
+
+    symbol = conflict(first)
+    if symbol is not None:
+        return f"two occurrences of {symbol!r} compete at the start"
+    for position, successors in g.follow.items():
+        symbol = conflict(successors)
+        if symbol is not None:
+            return (f"two occurrences of {symbol!r} compete after "
+                    f"{g.symbol_of(position)!r}")
+    return None

@@ -1,0 +1,165 @@
+"""The parsed document tree (Figure 2).
+
+A document instance is a tree of :class:`Element` nodes with
+:class:`Text` leaves.  Elements carry their attributes and know whether
+their start/end tags were present in the source or inferred (useful for
+round-trip tests of the omitted-tag machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Node:
+    """Base class of tree nodes."""
+
+    parent: "Element | None" = None
+
+
+class Text(Node):
+    """A character-data leaf."""
+
+    __slots__ = ("content", "parent")
+
+    def __init__(self, content: str) -> None:
+        self.content = content
+        self.parent = None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Text) and other.content == self.content
+
+    def __hash__(self) -> int:
+        return hash(("text", self.content))
+
+    def __repr__(self) -> str:
+        shown = self.content if len(self.content) <= 30 else (
+            self.content[:27] + "...")
+        return f"Text({shown!r})"
+
+
+class Element(Node):
+    """An element node with attributes and ordered children."""
+
+    __slots__ = ("name", "attributes", "children", "parent",
+                 "start_inferred", "end_inferred")
+
+    def __init__(self, name: str,
+                 attributes: dict[str, str] | None = None,
+                 children: list[Node] | None = None,
+                 start_inferred: bool = False,
+                 end_inferred: bool = False) -> None:
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.children: list[Node] = []
+        self.parent = None
+        self.start_inferred = start_inferred
+        self.end_inferred = end_inferred
+        for child in children or []:
+            self.append(child)
+
+    # -- tree building ------------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_text(self, content: str) -> Text:
+        """Append character data, merging with a trailing text node."""
+        if self.children and isinstance(self.children[-1], Text):
+            merged = Text(self.children[-1].content + content)
+            merged.parent = self
+            self.children[-1] = merged
+            return merged
+        node = Text(content)
+        return self.append(node)  # type: ignore[return-value]
+
+    # -- navigation -----------------------------------------------------------
+
+    def child_elements(self) -> list["Element"]:
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def first(self, name: str) -> "Element | None":
+        """First *direct* child element with the given name."""
+        for child in self.children:
+            if isinstance(child, Element) and child.name == name:
+                return child
+        return None
+
+    def find_all(self, name: str) -> list["Element"]:
+        """Every descendant element with the given name (document order)."""
+        return [e for e in iter_elements(self) if e.name == name]
+
+    def text_content(self) -> str:
+        """All character data in document order (the ``text()`` view)."""
+        pieces: list[str] = []
+        _collect_text(self, pieces)
+        return "".join(pieces)
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        return self.attributes.get(attribute, default)
+
+    def depth(self) -> int:
+        node, depth = self, 0
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    # -- comparison ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: name, attributes and children (recursively).
+
+        The inferred-tag flags and parents are ignored — two documents that
+        parse to the same structure are equal even if one spelled out tags
+        the other omitted.
+        """
+        return (isinstance(other, Element)
+                and other.name == self.name
+                and other.attributes == self.attributes
+                and other.children == self.children)
+
+    def __hash__(self) -> int:
+        return hash(("element", self.name,
+                     tuple(sorted(self.attributes.items())),
+                     tuple(self.children)))
+
+    def __repr__(self) -> str:
+        bits = [self.name]
+        if self.attributes:
+            bits.append(" " + " ".join(
+                f'{k}="{v}"' for k, v in self.attributes.items()))
+        return f"<{''.join(bits)}> ({len(self.children)} children)"
+
+
+def iter_elements(root: Element) -> Iterator[Element]:
+    """Pre-order iteration over ``root`` and its descendant elements."""
+    yield root
+    for child in root.children:
+        if isinstance(child, Element):
+            yield from iter_elements(child)
+
+
+def iter_nodes(root: Element) -> Iterator[Node]:
+    """Pre-order iteration over all nodes including text leaves."""
+    yield root
+    for child in root.children:
+        if isinstance(child, Element):
+            yield from iter_nodes(child)
+        else:
+            yield child
+
+
+def _collect_text(node: Node, pieces: list[str]) -> None:
+    if isinstance(node, Text):
+        pieces.append(node.content)
+    elif isinstance(node, Element):
+        for child in node.children:
+            _collect_text(child, pieces)
+
+
+def element_count(root: Element) -> int:
+    """Number of elements in the tree (text leaves excluded)."""
+    return sum(1 for _ in iter_elements(root))

@@ -1,0 +1,116 @@
+"""A character cursor with position tracking, shared by the SGML parsers."""
+
+from __future__ import annotations
+
+from repro.errors import SgmlError
+
+#: Characters allowed in SGML names after the first (NAMECHAR).
+NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_")
+
+#: Characters allowed as the first character of a name (NAMESTART).
+NAME_START_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+
+
+def is_name(text: str) -> bool:
+    """True when ``text`` is a valid SGML name."""
+    return (bool(text) and text[0] in NAME_START_CHARS
+            and all(ch in NAME_CHARS for ch in text))
+
+
+class Cursor:
+    """A read head over source text with line/column tracking."""
+
+    __slots__ = ("text", "pos", "_line_starts")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        starts = [0]
+        for i, ch in enumerate(text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    # -- position -------------------------------------------------------------
+
+    @property
+    def line(self) -> int:
+        """1-based line number of the current position."""
+        return self._line_of(self.pos)
+
+    @property
+    def column(self) -> int:
+        """1-based column number of the current position."""
+        line = self._line_of(self.pos)
+        return self.pos - self._line_starts[line - 1] + 1
+
+    def _line_of(self, pos: int) -> int:
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= pos:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def error(self, message: str,
+              error_class: type[SgmlError] = SgmlError) -> SgmlError:
+        """Build a positioned error (caller raises it)."""
+        return error_class(message, line=self.line, column=self.column)
+
+    # -- inspection -------------------------------------------------------------
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, length: int = 1) -> str:
+        return self.text[self.pos:self.pos + length]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    # -- consumption --------------------------------------------------------------
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + count]
+        self.pos += len(chunk)
+        return chunk
+
+    def expect(self, literal: str,
+               error_class: type[SgmlError] = SgmlError) -> None:
+        if not self.startswith(literal):
+            raise self.error(
+                f"expected {literal!r}, found {self.peek(len(literal))!r}",
+                error_class)
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def take_while(self, predicate) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and predicate(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def take_until(self, stop: str,
+                   error_class: type[SgmlError] = SgmlError) -> str:
+        """Consume up to (not including) ``stop``; error at end of input."""
+        index = self.text.find(stop, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct, expected {stop!r}",
+                             error_class)
+        chunk = self.text[self.pos:index]
+        self.pos = index
+        return chunk
+
+    def take_name(self, error_class: type[SgmlError] = SgmlError) -> str:
+        """Consume an SGML name."""
+        if self.at_end() or self.text[self.pos] not in NAME_START_CHARS:
+            raise self.error(
+                f"expected a name, found {self.peek()!r}", error_class)
+        return self.take_while(lambda ch: ch in NAME_CHARS)

@@ -1,0 +1,145 @@
+"""Document-instance validation against a DTD.
+
+The parser already enforces content models while building the tree; this
+validator re-checks a tree *independently* (trees may also be built
+programmatically) and adds the attribute-level checks:
+
+* every element is declared, child sequences match the content DFA,
+* EMPTY elements have no content, #PCDATA-only elements have no element
+  children,
+* declared attributes only, required attributes present, enumerated
+  values in range, NUMBER values numeric,
+* ID uniqueness and IDREF/IDREFS resolution across the document
+  (Figure 1's ``label``/``reflabel`` cross references),
+* ENTITY attribute values name declared external entities.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.sgml.contentmodel import PCDATA_NAME
+from repro.sgml.dtd import (
+    ATT_ENTITY,
+    ATT_ID,
+    ATT_IDREF,
+    ATT_IDREFS,
+    ATT_NAME_GROUP,
+    ATT_NUMBER,
+    Dtd,
+)
+from repro.sgml.instance import Element, Text, iter_elements
+
+
+def validate(root: Element, dtd: Dtd) -> None:
+    """Raise :class:`ValidationError` on the first problem found."""
+    problems = validation_problems(root, dtd)
+    if problems:
+        raise ValidationError(problems[0])
+
+
+def validation_problems(root: Element, dtd: Dtd) -> list[str]:
+    """Collect every validation problem (empty list == valid)."""
+    problems: list[str] = []
+    if dtd.doctype and root.name != dtd.doctype:
+        problems.append(
+            f"document element is {root.name!r}, DTD declares "
+            f"{dtd.doctype!r}")
+    ids: dict[str, str] = {}
+    idrefs: list[tuple[str, str]] = []
+    for element in iter_elements(root):
+        _check_element(element, dtd, problems, ids, idrefs)
+    for element_name, reference in idrefs:
+        if reference not in ids:
+            problems.append(
+                f"IDREF {reference!r} on {element_name!r} matches no ID "
+                "in the document")
+    return problems
+
+
+def _check_element(element: Element, dtd: Dtd, problems: list[str],
+                   ids: dict[str, str],
+                   idrefs: list[tuple[str, str]]) -> None:
+    if not dtd.has_element(element.name):
+        problems.append(f"element {element.name!r} is not declared")
+        return
+    declaration = dtd.element(element.name)
+    if declaration.is_empty() and element.children:
+        problems.append(
+            f"EMPTY element {element.name!r} has content")
+    elif declaration.is_pcdata_only():
+        if element.child_elements():
+            problems.append(
+                f"#PCDATA element {element.name!r} contains child "
+                "elements")
+    else:
+        _check_content_sequence(element, dtd, problems)
+    _check_attributes(element, dtd, problems, ids, idrefs)
+
+
+def _check_content_sequence(element: Element, dtd: Dtd,
+                            problems: list[str]) -> None:
+    automaton = dtd.automaton(element.name)
+    symbols: list[str] = []
+    for child in element.children:
+        if isinstance(child, Element):
+            symbols.append(child.name)
+        elif isinstance(child, Text) and child.content.strip():
+            symbols.append(PCDATA_NAME)
+    # Consecutive text nodes would have been merged; duplicated #PCDATA
+    # symbols are harmless because PCDATA loops in the automaton.
+    if not automaton.accepts(symbols):
+        shown = ", ".join(symbols) if symbols else "(empty)"
+        problems.append(
+            f"children of {element.name!r} do not match its content "
+            f"model {automaton.model}: got [{shown}]")
+
+
+def _check_attributes(element: Element, dtd: Dtd, problems: list[str],
+                      ids: dict[str, str],
+                      idrefs: list[tuple[str, str]]) -> None:
+    attlist = dtd.attlist(element.name)
+    declared = {d.name for d in attlist} if attlist is not None else set()
+    for attribute in element.attributes:
+        if attribute not in declared:
+            problems.append(
+                f"attribute {attribute!r} is not declared on "
+                f"{element.name!r}")
+    if attlist is None:
+        return
+    for definition in attlist:
+        value = element.attributes.get(definition.name)
+        if value is None:
+            if definition.required:
+                problems.append(
+                    f"required attribute {definition.name!r} missing on "
+                    f"{element.name!r}")
+            continue
+        if definition.kind == ATT_NAME_GROUP:
+            if value not in definition.allowed_values:
+                allowed = " | ".join(definition.allowed_values)
+                problems.append(
+                    f"attribute {definition.name!r} of {element.name!r} "
+                    f"has value {value!r}, allowed: ({allowed})")
+        elif definition.kind == ATT_NUMBER:
+            if not value.lstrip("-").isdigit():
+                problems.append(
+                    f"attribute {definition.name!r} of {element.name!r} "
+                    f"must be a NUMBER, got {value!r}")
+        elif definition.kind == ATT_ID:
+            if value in ids:
+                problems.append(
+                    f"duplicate ID {value!r} (first used on "
+                    f"{ids[value]!r})")
+            else:
+                ids[value] = element.name
+        elif definition.kind == ATT_IDREF:
+            idrefs.append((element.name, value))
+        elif definition.kind == ATT_IDREFS:
+            for token in value.split():
+                idrefs.append((element.name, token))
+        elif definition.kind == ATT_ENTITY:
+            entity = dtd.entity(value)
+            if entity is None or not entity.is_external:
+                problems.append(
+                    f"attribute {definition.name!r} of {element.name!r} "
+                    f"names unknown external entity {value!r}")

@@ -1,0 +1,71 @@
+"""Serialize a document tree back to SGML text.
+
+The writer produces fully tagged output (no tag omission) so that the
+result parses in plain well-formed mode too; a ``minimize`` flag emits the
+compact form instead, omitting the tags the DTD allows to be omitted —
+useful for round-trip tests of the tag-inference machinery.
+"""
+
+from __future__ import annotations
+
+from repro.sgml.dtd import Dtd
+from repro.sgml.instance import Element, Node, Text
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for serialization."""
+    return (text.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for a quoted literal."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def write_document(root: Element, dtd: Dtd | None = None,
+                   minimize: bool = False, indent: int | None = None) -> str:
+    """Render the tree as SGML text.
+
+    ``minimize`` requires a ``dtd`` and drops omissible end tags (start
+    tags are always written — inferring them back needs the content
+    context and inflates diffs for no benefit).  ``indent`` pretty-prints
+    with that many spaces per level; pretty-printing inserts whitespace
+    only around element (non-#PCDATA) content so text is preserved.
+    """
+    pieces: list[str] = []
+    _write_node(root, dtd, minimize, indent, 0, pieces)
+    return "".join(pieces)
+
+
+def _write_node(node: Node, dtd: Dtd | None, minimize: bool,
+                indent: int | None, depth: int, pieces: list[str]) -> None:
+    if isinstance(node, Text):
+        pieces.append(escape_text(node.content))
+        return
+    assert isinstance(node, Element)
+    pad = "" if indent is None else "\n" + " " * (indent * depth)
+    if depth > 0 or indent is not None:
+        pieces.append(pad)
+    pieces.append(_start_tag(node))
+    declaration = dtd.elements.get(node.name) if dtd is not None else None
+    if declaration is not None and declaration.is_empty():
+        return
+    mixed = any(isinstance(child, Text) for child in node.children)
+    child_indent = None if (indent is None or mixed) else indent
+    for child in node.children:
+        _write_node(child, dtd, minimize, child_indent, depth + 1, pieces)
+    omit_end = (minimize and declaration is not None
+                and declaration.omit_end)
+    if not omit_end:
+        if child_indent is not None and node.children:
+            pieces.append("\n" + " " * (indent * depth))
+        pieces.append(f"</{node.name}>")
+
+
+def _start_tag(element: Element) -> str:
+    bits = [element.name]
+    for name, value in element.attributes.items():
+        bits.append(f'{name}="{escape_attribute(value)}"')
+    return "<" + " ".join(bits) + ">"

@@ -1,0 +1,30 @@
+"""The information-retrieval substrate (Section 4.1).
+
+IRS-style facilities the paper grafts onto the query language:
+
+* :mod:`repro.text.patterns` — the pattern language (concatenation,
+  disjunction, Kleene closure) and its boolean combinations,
+* :mod:`repro.text.nfa` — a Thompson-construction NFA matcher (the
+  library deliberately implements its own engine instead of ``re``),
+* :mod:`repro.text.predicates` — the ``contains`` and ``near``
+  interpreted predicates,
+* :mod:`repro.text.index` — a positional inverted index used by the
+  optimizer to evaluate ``contains`` without scanning.
+"""
+
+from repro.text.index import TextIndex, tokenize
+from repro.text.patterns import (
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    Pattern,
+    PatternExpr,
+    parse_pattern,
+    parse_pattern_expr,
+)
+from repro.text.predicates import contains, near
+
+__all__ = [
+    "AndExpr", "NotExpr", "OrExpr", "Pattern", "PatternExpr", "TextIndex",
+    "contains", "near", "parse_pattern", "parse_pattern_expr", "tokenize",
+]

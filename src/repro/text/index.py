@@ -1,0 +1,143 @@
+"""A positional inverted index (the "full text indexing" of Section 4.1).
+
+The index maps tokens to postings ``(key, position)``.  Keys are
+caller-chosen (typically oids).  The optimizer (Section 5.4 + 4.1) uses
+:meth:`TextIndex.candidates` to turn a ``contains`` predicate into an
+index probe: the returned key set is exact for positive boolean
+combinations of literal patterns and a safe superset otherwise (``None``
+means "no pruning possible, scan").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.text.nfa import compile_pattern_text
+from repro.text.patterns import (
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    Pattern,
+    PatternExpr,
+    tokenize_words,
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """The index's tokenizer (same as the predicate's)."""
+    return tokenize_words(text)
+
+
+def _is_literal_word(source: str) -> bool:
+    """True when a pattern word is a plain literal (no metacharacters)."""
+    return not any(ch in source for ch in "().|*+?[]\\")
+
+
+class TextIndex:
+    """token -> list of (key, position) postings."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[tuple[Hashable, int]]] = {}
+        self._documents: dict[Hashable, int] = {}  # key -> token count
+
+    # -- building -------------------------------------------------------------
+
+    def add(self, key: Hashable, text: str) -> int:
+        """Index ``text`` under ``key``; returns the token count."""
+        tokens = tokenize(text)
+        base = self._documents.get(key, 0)
+        for offset, token in enumerate(tokens):
+            self._postings.setdefault(token, []).append(
+                (key, base + offset))
+        self._documents[key] = base + len(tokens)
+        return len(tokens)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def vocabulary(self) -> Iterable[str]:
+        return self._postings.keys()
+
+    # -- probing --------------------------------------------------------------
+
+    def keys_with_word(self, word: str) -> set[Hashable]:
+        """Exact-token probe."""
+        return {key for key, _ in self._postings.get(word, ())}
+
+    def keys_matching(self, word_pattern: str) -> set[Hashable]:
+        """Pattern probe: literal words hit directly, regex-ish ones scan
+        the vocabulary with the NFA."""
+        if _is_literal_word(word_pattern):
+            return self.keys_with_word(word_pattern)
+        matcher = compile_pattern_text(word_pattern)
+        hits: set[Hashable] = set()
+        for token, postings in self._postings.items():
+            if matcher.matches(token):
+                hits.update(key for key, _ in postings)
+        return hits
+
+    def keys_with_phrase(self, pattern: Pattern) -> set[Hashable]:
+        """Phrase probe using positions (consecutive tokens)."""
+        per_word: list[dict[Hashable, set[int]]] = []
+        for offset, source_word in enumerate(pattern.source.split()):
+            positions: dict[Hashable, set[int]] = {}
+            matcher = pattern.word_matchers[offset]
+            if _is_literal_word(source_word):
+                entries = self._postings.get(source_word, ())
+            else:
+                entries = [entry for token, posting in
+                           self._postings.items()
+                           if matcher.matches(token)
+                           for entry in posting]
+            for key, position in entries:
+                positions.setdefault(key, set()).add(position - offset)
+            per_word.append(positions)
+        candidates = set(per_word[0])
+        for positions in per_word[1:]:
+            candidates &= set(positions)
+        hits: set[Hashable] = set()
+        for key in candidates:
+            anchor_sets = [positions[key] for positions in per_word]
+            common = set.intersection(*anchor_sets)
+            if common:
+                hits.add(key)
+        return hits
+
+    def keys_for_pattern(self, pattern: Pattern) -> set[Hashable]:
+        if pattern.is_phrase:
+            return self.keys_with_phrase(pattern)
+        return self.keys_matching(pattern.source)
+
+    def candidates(self, expression: PatternExpr) -> set[Hashable] | None:
+        """Keys that *may* satisfy the expression.
+
+        Exact for positive combinations; ``None`` when the expression is
+        dominated by negation (no index pruning possible).  Callers must
+        still re-check phrases/negations on the actual text when they
+        need exact semantics with a superset result — but for pure
+        And/Or/Pattern trees this set is already exact.
+        """
+        if isinstance(expression, Pattern):
+            return self.keys_for_pattern(expression)
+        if isinstance(expression, AndExpr):
+            left = self.candidates(expression.left)
+            right = self.candidates(expression.right)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return left & right
+        if isinstance(expression, OrExpr):
+            left = self.candidates(expression.left)
+            right = self.candidates(expression.right)
+            if left is None or right is None:
+                return None
+            return left | right
+        if isinstance(expression, NotExpr):
+            return None
+        return None

@@ -1,0 +1,62 @@
+"""The ``contains`` and ``near`` interpreted predicates (Section 4.1)."""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError, PatternError
+from repro.text.patterns import (
+    Pattern,
+    PatternExpr,
+    parse_pattern_expr,
+    tokenize_words,
+)
+
+
+def contains(text: object, pattern: object) -> bool:
+    """``text contains pattern``.
+
+    ``pattern`` may be a :class:`~repro.text.patterns.PatternExpr`, or a
+    plain string, which is parsed: strings with ``and``/``or``/``not``
+    connectives or quotes become boolean combinations, anything else a
+    single pattern.  Non-string ``text`` makes the atom *false* (the
+    Section 5.3 convention for atoms over wrong union branches).
+    """
+    if not isinstance(text, str):
+        return False
+    expr = _as_expr(pattern)
+    return expr.holds_on_text(text)
+
+
+def _as_expr(pattern: object) -> PatternExpr:
+    if isinstance(pattern, PatternExpr):
+        return pattern
+    if isinstance(pattern, str):
+        stripped = pattern.strip()
+        if any(ch in stripped for ch in "\"'"):
+            return parse_pattern_expr(stripped)
+        return Pattern(stripped)
+    raise PatternError(
+        f"contains() needs a pattern, got {type(pattern).__name__}")
+
+
+def near(text: object, first: str, second: str,
+         max_distance: int = 5) -> bool:
+    """``near(w1, w2, k)`` — both words occur within ``k`` words of each
+    other (Section 4.1 defines near over word distance in a sentence; we
+    use word distance in the token stream)."""
+    if not isinstance(text, str):
+        return False
+    if max_distance < 0:
+        raise EvaluationError("near() distance must be non-negative")
+    first_pattern = Pattern(first)
+    second_pattern = Pattern(second)
+    if first_pattern.is_phrase or second_pattern.is_phrase:
+        raise PatternError("near() takes single-word patterns")
+    tokens = tokenize_words(text)
+    first_positions = [i for i, token in enumerate(tokens)
+                       if first_pattern.match_word(token)]
+    if not first_positions:
+        return False
+    second_positions = [i for i, token in enumerate(tokens)
+                        if second_pattern.match_word(token)]
+    return any(abs(i - j) <= max_distance
+               for i in first_positions for j in second_positions)

@@ -1,0 +1,106 @@
+"""Property-based equivalence: calculus interpreter vs compiled algebra.
+
+Hypothesis generates random path predicates over the Knuth_Books
+database; for every generated query the compiled plan must return
+exactly the interpreter's result — the central soundness/completeness
+claim of the Section-5.4 algebraization.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.calculus import (
+    AttVar,
+    Bind,
+    DataVar,
+    Deref,
+    EvalContext,
+    Index,
+    Name,
+    PathAtom,
+    PathTerm,
+    PathVar,
+    Query,
+    Sel,
+    SetBind,
+    evaluate_query,
+)
+from repro.corpus.knuth import build_knuth_database
+from repro.algebra.compile import compile_query
+from repro.algebra.execute import execute_plan
+
+DB = build_knuth_database()
+CTX = EvalContext(DB)
+
+ATTRIBUTES = ["volumes", "chapters", "title", "status", "sections",
+              "review", "author", "body", "series"]
+
+
+@st.composite
+def path_components(draw):
+    """A random component sequence with fresh variable names."""
+    count = draw(st.integers(1, 5))
+    components = []
+    fresh = iter(range(100))
+    bind_vars = 0
+    for _ in range(count):
+        kind = draw(st.sampled_from(
+            ["pvar", "sel", "selvar", "index", "indexvar", "deref",
+             "bind", "setbind"]))
+        if kind == "pvar":
+            components.append(PathVar(f"P{next(fresh)}"))
+        elif kind == "sel":
+            components.append(Sel(draw(st.sampled_from(ATTRIBUTES))))
+        elif kind == "selvar":
+            components.append(Sel(AttVar(f"A{next(fresh)}")))
+        elif kind == "index":
+            components.append(Index(draw(st.integers(0, 2))))
+        elif kind == "indexvar":
+            components.append(Index(DataVar(f"I{next(fresh)}")))
+        elif kind == "deref":
+            components.append(Deref())
+        elif kind == "bind":
+            components.append(Bind(DataVar(f"X{next(fresh)}")))
+            bind_vars += 1
+        else:
+            components.append(SetBind(DataVar(f"S{next(fresh)}")))
+            bind_vars += 1
+    if bind_vars == 0:
+        components.append(Bind(DataVar("Xlast")))
+    return components
+
+
+def _query_of(components) -> Query:
+    atom = PathAtom(Name("Knuth_Books"), PathTerm(components))
+    head = atom.path.variables()
+    return Query(head, atom)
+
+
+class TestRandomPathPredicates:
+    @given(path_components())
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_algebra_equals_calculus(self, components):
+        query = _query_of(components)
+        interpreted = evaluate_query(query, CTX)
+        plan = compile_query(query, DB.schema, CTX)
+        compiled = execute_plan(plan, CTX)
+        assert compiled == interpreted
+
+    @given(path_components())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimized_plan_equals_calculus(self, components):
+        from repro.algebra.optimizer import optimize
+        query = _query_of(components)
+        interpreted = evaluate_query(query, CTX)
+        plan = optimize(compile_query(query, DB.schema, CTX))
+        assert execute_plan(plan, CTX) == interpreted
+
+    @given(path_components())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_evaluation_is_deterministic(self, components):
+        query = _query_of(components)
+        assert evaluate_query(query, CTX) == evaluate_query(query, CTX)

@@ -1,0 +1,118 @@
+"""Tests for the plan optimizer (index utilisation + pushdown)."""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD
+from repro.corpus.generator import generate_corpus
+from repro.algebra.compile import compile_query
+from repro.algebra.execute import execute_plan
+from repro.algebra.operators import IndexFilterOp, SelectOp
+from repro.algebra.optimizer import optimize
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = DocumentStore(ARTICLE_DTD)
+    for tree in generate_corpus(10, seed=7):
+        s.load_tree(tree)
+    s.build_text_index()
+    return s
+
+
+CONTAINS_QUERY = """
+    select a from a in Articles
+    where a contains ("SGML" and "OODBMS")
+"""
+
+
+def _find(plan, klass):
+    found = []
+    nodes = [plan]
+    while nodes:
+        node = nodes.pop()
+        if isinstance(node, klass):
+            found.append(node)
+        nodes.extend(node.children())
+    return found
+
+
+class TestIndexRewrite:
+    def test_contains_select_becomes_index_filter(self, store):
+        query = store._engine.translate(CONTAINS_QUERY)
+        plan = compile_query(query, store.schema, store._engine.ctx)
+        assert _find(plan, SelectOp)
+        optimized = optimize(plan)
+        assert _find(optimized, IndexFilterOp)
+
+    def test_optimized_plan_gives_same_results(self, store):
+        query = store._engine.translate(CONTAINS_QUERY)
+        plan = compile_query(query, store.schema, store._engine.ctx)
+        baseline = execute_plan(plan, store._engine.ctx)
+        optimized = optimize(plan)
+        assert execute_plan(optimized, store._engine.ctx) == baseline
+
+    def test_index_filter_without_index_still_correct(self, store):
+        from repro.calculus import EvalContext
+        query = store._engine.translate(CONTAINS_QUERY)
+        plan = optimize(
+            compile_query(query, store.schema, store._engine.ctx))
+        bare_ctx = EvalContext(store.instance,
+                               provenance=store.loader.provenance)
+        assert bare_ctx.text_index is None
+        with_index = execute_plan(plan, store._engine.ctx)
+        without_index = execute_plan(plan, bare_ctx)
+        assert with_index == without_index
+
+    def test_rewrite_can_be_disabled(self, store):
+        query = store._engine.translate(CONTAINS_QUERY)
+        plan = compile_query(query, store.schema, store._engine.ctx)
+        untouched = optimize(plan, use_text_index=False)
+        assert not _find(untouched, IndexFilterOp)
+
+    def test_non_contains_selects_left_alone(self, store):
+        query = store._engine.translate(
+            "select a from a in Articles where a.status = 'final'")
+        plan = compile_query(query, store.schema, store._engine.ctx)
+        optimized = optimize(plan)
+        assert not _find(optimized, IndexFilterOp)
+
+
+class TestPushdown:
+    def test_pushdown_preserves_results(self, store):
+        text = """
+            select t from a in Articles, s in a.sections,
+                          a PATH_p.title(t)
+            where a.status = "final"
+        """
+        query = store._engine.translate(text)
+        plan = compile_query(query, store.schema, store._engine.ctx)
+        pushed = optimize(plan, use_text_index=False, pushdown=True)
+        assert execute_plan(plan, store._engine.ctx) == \
+            execute_plan(pushed, store._engine.ctx)
+
+    def test_selection_moves_below_unrelated_operators(self, store):
+        # the status filter depends only on `a`; after pushdown it must
+        # sit below the section unnesting
+        text = """
+            select s from a in Articles, s in a.sections
+            where a.status = "final"
+        """
+        query = store._engine.translate(text)
+        plan = compile_query(query, store.schema, store._engine.ctx)
+        pushed = optimize(plan, use_text_index=False, pushdown=True)
+
+        def depth_of(node, klass, depth=0):
+            if isinstance(node, klass):
+                return depth
+            for child in node.children():
+                found = depth_of(child, klass, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        original_depth = depth_of(plan, SelectOp)
+        pushed_depth = depth_of(pushed, SelectOp)
+        assert pushed_depth > original_depth
+        assert execute_plan(plan, store._engine.ctx) == \
+            execute_plan(pushed, store._engine.ctx)

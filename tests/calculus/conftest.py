@@ -1,0 +1,15 @@
+import pytest
+
+from repro.calculus import EvalContext
+from repro.corpus.knuth import build_knuth_database
+from repro.corpus.letters import build_letters_database
+
+
+@pytest.fixture(scope="module")
+def knuth_ctx():
+    return EvalContext(build_knuth_database())
+
+
+@pytest.fixture(scope="module")
+def letters_ctx():
+    return EvalContext(build_letters_database())

@@ -1,0 +1,283 @@
+"""Unit tests for the calculus evaluator's core machinery."""
+
+import pytest
+
+from repro.calculus import (
+    And,
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Deref,
+    Eq,
+    EvalContext,
+    Exists,
+    Forall,
+    FunTerm,
+    Implies,
+    In,
+    Index,
+    ListTerm,
+    Name,
+    Not,
+    Or,
+    PathApply,
+    PathAtom,
+    PathTerm,
+    PathVar,
+    Pred,
+    Query,
+    Sel,
+    SetBind,
+    SetTerm,
+    Subset,
+    TupleTerm,
+    evaluate_query,
+)
+from repro.calculus.evaluator import eval_term, satisfy
+from repro.errors import EvaluationError, QueryError, SafetyError
+from repro.oodb import (
+    Instance,
+    ListValue,
+    STRING,
+    SetValue,
+    TupleValue,
+    c,
+    schema_from_classes,
+    set_of,
+    tuple_of,
+)
+from repro.paths import Path
+
+X, Y, Z, I, J = (DataVar(n) for n in "XYZIJ")
+P, Q = PathVar("P"), PathVar("Q")
+A = AttVar("A")
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    from repro.oodb import list_of
+    schema = schema_from_classes(
+        {"Item": tuple_of(("label", STRING), ("tags", set_of(STRING)))},
+        roots={"Items": list_of(c("Item")),
+               "Box": tuple_of(("name", STRING))})
+    db = Instance(schema)
+    items = [
+        db.new_object("Item", TupleValue([
+            ("label", f"item-{i}"),
+            ("tags", SetValue([f"t{i}", "common"]))]))
+        for i in range(3)]
+    db.set_root("Items", ListValue(items))
+    db.set_root("Box", TupleValue([("name", "the box")]))
+    return EvalContext(db)
+
+
+class TestTermEvaluation:
+    def test_constants_and_names(self, ctx):
+        assert eval_term(Const(5), {}, ctx) == 5
+        assert eval_term(Name("Box"), {}, ctx) == TupleValue([
+            ("name", "the box")])
+
+    def test_constructed_terms(self, ctx):
+        term = TupleTerm([("a", Const(1)), ("b", ListTerm([Const(2)]))])
+        assert eval_term(term, {}, ctx) == TupleValue([
+            ("a", 1), ("b", ListValue([2]))])
+        assert eval_term(SetTerm([Const(1), Const(1)]), {}, ctx) == \
+            SetValue([1])
+
+    def test_unbound_variable_fails(self, ctx):
+        with pytest.raises(EvaluationError):
+            eval_term(X, {}, ctx)
+
+    def test_bound_variable(self, ctx):
+        assert eval_term(X, {X: 42}, ctx) == 42
+
+    def test_fun_term(self, ctx):
+        term = FunTerm("length", [Const(Path.of("a", 0))])
+        assert eval_term(term, {}, ctx) == 2
+
+    def test_ground_path_apply(self, ctx):
+        term = PathApply(Name("Box"), PathTerm([Sel("name")]))
+        assert eval_term(term, {}, ctx) == "the box"
+
+    def test_path_apply_unbound_path_var_fails(self, ctx):
+        term = PathApply(Name("Box"), PathTerm([P]))
+        with pytest.raises(EvaluationError):
+            eval_term(term, {}, ctx)
+
+
+class TestPathAtomBinding:
+    def test_bind_data_variable(self, ctx):
+        atom = PathAtom(Name("Box"), PathTerm([Sel("name"), Bind(X)]))
+        bindings = list(satisfy(atom, {}, ctx))
+        assert len(bindings) == 1
+        assert bindings[0][X] == "the box"
+
+    def test_index_variable_enumerates(self, ctx):
+        atom = PathAtom(Name("Items"), PathTerm([Index(I), Bind(X)]))
+        bindings = list(satisfy(atom, {}, ctx))
+        assert [b[I] for b in bindings] == [0, 1, 2]
+
+    def test_deref_and_sel(self, ctx):
+        atom = PathAtom(Name("Items"), PathTerm([
+            Index(0), Deref(), Sel("label"), Bind(X)]))
+        bindings = list(satisfy(atom, {}, ctx))
+        assert bindings[0][X] == "item-0"
+
+    def test_implicit_deref_on_sel(self, ctx):
+        # Selection on an oid silently dereferences (paper's X·title).
+        atom = PathAtom(Name("Items"), PathTerm([
+            Index(0), Sel("label"), Bind(X)]))
+        bindings = list(satisfy(atom, {}, ctx))
+        assert bindings[0][X] == "item-0"
+
+    def test_set_bind(self, ctx):
+        atom = PathAtom(Name("Items"), PathTerm([
+            Index(0), Sel("tags"), SetBind(X)]))
+        values = {b[X] for b in satisfy(atom, {}, ctx)}
+        assert values == {"t0", "common"}
+
+    def test_attribute_variable(self, ctx):
+        atom = PathAtom(Name("Box"), PathTerm([Sel(A), Bind(X)]))
+        bindings = list(satisfy(atom, {}, ctx))
+        assert bindings[0][A] == "name"
+        assert bindings[0][X] == "the box"
+
+    def test_path_variable_enumerates_and_binds(self, ctx):
+        atom = PathAtom(Name("Box"), PathTerm([P, Bind(X)]))
+        pairs = {(str(b[P]), repr(b[X])) for b in satisfy(atom, {}, ctx)}
+        assert ("ε", repr(TupleValue([("name", "the box")]))) in pairs
+        assert (".name", repr("the box")) in pairs
+
+    def test_bound_path_variable_checks(self, ctx):
+        atom = PathAtom(Name("Box"), PathTerm([P, Bind(X)]))
+        binding = {P: Path.of("name")}
+        bindings = list(satisfy(atom, binding, ctx))
+        assert len(bindings) == 1
+        assert bindings[0][X] == "the box"
+
+    def test_bound_path_variable_that_does_not_apply(self, ctx):
+        atom = PathAtom(Name("Box"), PathTerm([P]))
+        assert list(satisfy(atom, {P: Path.of("ghost")}, ctx)) == []
+
+    def test_missing_attribute_is_false_not_error(self, ctx):
+        atom = PathAtom(Name("Box"), PathTerm([Sel("ghost"), Bind(X)]))
+        assert list(satisfy(atom, {}, ctx)) == []
+
+
+class TestConnectives:
+    def test_and_orders_greedily(self, ctx):
+        # Eq conjunct listed first needs X: the evaluator must run the
+        # path atom first.
+        formula = And(
+            Eq(X, Const("item-1")),
+            PathAtom(Name("Items"), PathTerm([
+                Index(I), Sel("label"), Bind(X)])))
+        bindings = list(satisfy(formula, {}, ctx))
+        assert len(bindings) == 1
+        assert bindings[0][I] == 1
+
+    def test_or_unions(self, ctx):
+        formula = Or(Eq(X, Const(1)), Eq(X, Const(2)))
+        values = sorted(b[X] for b in satisfy(formula, {}, ctx))
+        assert values == [1, 2]
+
+    def test_not_filters(self, ctx):
+        formula = And(
+            PathAtom(Name("Items"), PathTerm([
+                Index(I), Sel("label"), Bind(X)])),
+            Not(Eq(X, Const("item-1"))))
+        labels = {b[X] for b in satisfy(formula, {}, ctx)}
+        assert labels == {"item-0", "item-2"}
+
+    def test_not_on_unbound_raises(self, ctx):
+        with pytest.raises(SafetyError):
+            list(satisfy(Not(Eq(X, Const(1))), {}, ctx))
+
+    def test_exists_projects(self, ctx):
+        formula = Exists([I], PathAtom(Name("Items"), PathTerm([
+            Index(I), Sel("label"), Bind(X)])))
+        bindings = list(satisfy(formula, {}, ctx))
+        assert all(I not in b for b in bindings)
+        assert {b[X] for b in bindings} == {
+            "item-0", "item-1", "item-2"}
+
+    def test_forall_with_implication(self, ctx):
+        # every item's label starts with 'item' (via contains)
+        formula = Forall([I, X], Implies(
+            PathAtom(Name("Items"), PathTerm([
+                Index(I), Sel("label"), Bind(X)])),
+            Pred("contains", [X, Const("item-(0|1|2)")])))
+        assert list(satisfy(formula, {}, ctx)) == [{}]
+
+    def test_forall_fails_when_counterexample(self, ctx):
+        formula = Forall([I, X], Implies(
+            PathAtom(Name("Items"), PathTerm([
+                Index(I), Sel("label"), Bind(X)])),
+            Eq(X, Const("item-0"))))
+        assert list(satisfy(formula, {}, ctx)) == []
+
+    def test_forall_requires_implication(self, ctx):
+        with pytest.raises(SafetyError):
+            list(satisfy(Forall([X], Eq(X, Const(1))), {}, ctx))
+
+    def test_membership_binds(self, ctx):
+        formula = In(X, Const(ListValue([10, 20])))
+        assert sorted(b[X] for b in satisfy(formula, {}, ctx)) == [10, 20]
+
+    def test_membership_checks(self, ctx):
+        assert list(satisfy(In(Const(10), Const(ListValue([10]))), {}, ctx))
+        assert not list(satisfy(
+            In(Const(99), Const(ListValue([10]))), {}, ctx))
+
+    def test_subset(self, ctx):
+        holds = Subset(Const(SetValue([1])), Const(SetValue([1, 2])))
+        fails = Subset(Const(SetValue([3])), Const(SetValue([1, 2])))
+        assert list(satisfy(holds, {}, ctx))
+        assert not list(satisfy(fails, {}, ctx))
+
+    def test_stuck_conjunction_raises(self, ctx):
+        with pytest.raises(SafetyError):
+            list(satisfy(And(Pred("lt", [X, Y])), {}, ctx))
+
+
+class TestQueries:
+    def test_single_head_returns_value_set(self, ctx):
+        query = Query([X], Exists([I], PathAtom(
+            Name("Items"), PathTerm([Index(I), Sel("label"), Bind(X)]))))
+        result = evaluate_query(query, ctx)
+        assert isinstance(result, SetValue)
+        assert set(result) == {"item-0", "item-1", "item-2"}
+
+    def test_multi_head_returns_tuples(self, ctx):
+        query = Query([I, X], PathAtom(
+            Name("Items"), PathTerm([Index(I), Sel("label"), Bind(X)])))
+        result = evaluate_query(query, ctx)
+        rows = {(row.get("I"), row.get("X")) for row in result}
+        assert rows == {(0, "item-0"), (1, "item-1"), (2, "item-2")}
+
+    def test_result_is_deduplicated(self, ctx):
+        query = Query([X], Exists([I], PathAtom(
+            Name("Items"),
+            PathTerm([Index(I), Sel("tags"), SetBind(X)]))))
+        result = evaluate_query(query, ctx)
+        assert sorted(result) == ["common", "t0", "t1", "t2"]
+
+    def test_head_must_occur_in_formula(self):
+        with pytest.raises(QueryError):
+            Query([X], Eq(Y, Const(1)))
+
+    def test_free_variables_must_be_in_head(self):
+        with pytest.raises(QueryError):
+            Query([X], And(Eq(X, Const(1)), Eq(Y, Const(2))))
+
+    def test_nested_query_term(self, ctx):
+        # a list of the labels, via set_to_list of a nested query
+        inner = Query([X], Exists([I], PathAtom(
+            Name("Items"), PathTerm([Index(I), Sel("label"), Bind(X)]))))
+        outer = Query([Y], Eq(Y, FunTerm("set_to_list", [inner])))
+        result = evaluate_query(outer, ctx)
+        assert len(result) == 1
+        the_list = list(result)[0]
+        assert isinstance(the_list, ListValue)
+        assert set(the_list) == {"item-0", "item-1", "item-2"}

@@ -1,0 +1,145 @@
+"""Unit tests for the interpreted function/predicate registry."""
+
+import pytest
+
+from repro.calculus import EvalContext, FunctionRegistry, default_registry
+from repro.corpus.knuth import build_knuth_database
+from repro.errors import EvaluationError
+from repro.oodb import ListValue, SetValue, TupleValue
+from repro.paths import Path
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return EvalContext(build_knuth_database())
+
+
+def call(ctx, name, *args):
+    return ctx.registry.function(name)(ctx, *args)
+
+
+def holds(ctx, name, *args):
+    return ctx.registry.predicate(name)(ctx, *args)
+
+
+class TestRegistry:
+    def test_unknown_names_rejected(self, ctx):
+        with pytest.raises(EvaluationError):
+            ctx.registry.function("nope")
+        with pytest.raises(EvaluationError):
+            ctx.registry.predicate("nope")
+
+    def test_has_checks(self):
+        registry = default_registry()
+        assert registry.has_function("length")
+        assert registry.has_predicate("contains")
+        assert not registry.has_function("contains")
+
+    def test_custom_registration(self, ctx):
+        registry = FunctionRegistry()
+        registry.register_function("double", lambda c, x: x * 2)
+        assert registry.function("double")(ctx, 21) == 42
+
+
+class TestPathAndCollectionFunctions:
+    def test_length_on_everything(self, ctx):
+        assert call(ctx, "length", Path.of("a", 0)) == 2
+        assert call(ctx, "length", "abc") == 3
+        assert call(ctx, "length", ListValue([1, 2])) == 2
+        assert call(ctx, "length", SetValue([1])) == 1
+        with pytest.raises(EvaluationError):
+            call(ctx, "length", 42)
+
+    def test_project_and_concat(self, ctx):
+        path = Path.of("a", 0, "b")
+        assert call(ctx, "project", path, 0, 1) == Path.of("a", 0)
+        assert call(ctx, "concat", Path.of("a"), Path.of("b")) == \
+            Path.of("a", "b")
+        assert call(ctx, "concat", "x", "y") == "xy"
+        assert call(ctx, "concat", ListValue([1]), ListValue([2])) == \
+            ListValue([1, 2])
+        with pytest.raises(EvaluationError):
+            call(ctx, "concat", 1, 2)
+
+    def test_name(self, ctx):
+        assert call(ctx, "name", "title") == "title"
+        with pytest.raises(EvaluationError):
+            call(ctx, "name", 42)
+
+    def test_first_last_count(self, ctx):
+        lst = ListValue([10, 20, 30])
+        assert call(ctx, "first", lst) == 10
+        assert call(ctx, "last", lst) == 30
+        assert call(ctx, "count", lst) == 3
+        with pytest.raises(EvaluationError):
+            call(ctx, "first", ListValue())
+
+    def test_set_to_list_and_sort_by(self, ctx):
+        s = SetValue([TupleValue([("k", 2)]), TupleValue([("k", 1)])])
+        as_list = call(ctx, "set_to_list", s)
+        assert isinstance(as_list, ListValue)
+        ordered = call(ctx, "sort_by", s, "k")
+        assert [t.get("k") for t in ordered] == [1, 2]
+        with pytest.raises(EvaluationError):
+            call(ctx, "sort_by", s, "missing")
+
+    def test_element(self, ctx):
+        assert call(ctx, "element", SetValue([7])) == 7
+        with pytest.raises(EvaluationError):
+            call(ctx, "element", SetValue([1, 2]))
+
+    def test_set_operations(self, ctx):
+        a, b = SetValue([1, 2]), SetValue([2, 3])
+        assert call(ctx, "set_union", a, b) == SetValue([1, 2, 3])
+        assert call(ctx, "set_intersection", a, b) == SetValue([2])
+        assert call(ctx, "set_difference", a, b) == SetValue([1])
+        with pytest.raises(EvaluationError):
+            call(ctx, "set_union", a, 5)
+
+
+class TestTextFunctions:
+    def test_text_on_objects(self, ctx):
+        volume = ctx.instance.root("Knuth_Books").get("volumes")[0]
+        text = call(ctx, "text", volume)
+        assert "Fundamental Algorithms" in text
+
+    def test_contains_auto_text(self, ctx):
+        volume = ctx.instance.root("Knuth_Books").get("volumes")[0]
+        assert holds(ctx, "contains", volume, "Fundamental")
+        assert not holds(ctx, "contains", volume, "Nonexistent")
+
+    def test_contains_non_string_false(self, ctx):
+        assert not holds(ctx, "contains", 42, "x")
+
+    def test_near_auto_text(self, ctx):
+        assert holds(ctx, "near", "alpha beta gamma", "alpha", "gamma",
+                     2)
+        assert not holds(ctx, "near", "alpha beta gamma", "alpha",
+                         "gamma", 1)
+
+
+class TestComparisons:
+    def test_orderings(self, ctx):
+        assert holds(ctx, "lt", 1, 2)
+        assert holds(ctx, "le", 2, 2)
+        assert holds(ctx, "gt", "b", "a")
+        assert holds(ctx, "ge", 2.5, 2.5)
+        assert not holds(ctx, "lt", 2, 1)
+
+    def test_neq_uses_equivalence(self, ctx):
+        tup = TupleValue([("a", 1)])
+        het = ListValue([TupleValue([("a", 1)])])
+        assert not holds(ctx, "neq", tup, het)  # ≡-equivalent
+        assert holds(ctx, "neq", 1, 2)
+
+    def test_incomparable_rejected(self, ctx):
+        with pytest.raises(EvaluationError):
+            holds(ctx, "lt", ListValue(), 1)
+        with pytest.raises(EvaluationError):
+            holds(ctx, "lt", True, 1)  # booleans are not ordered here
+
+    def test_exists_predicate(self, ctx):
+        assert holds(ctx, "exists", SetValue([1]))
+        assert not holds(ctx, "exists", SetValue())
+        with pytest.raises(EvaluationError):
+            holds(ctx, "exists", 42)

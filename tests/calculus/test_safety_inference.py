@@ -1,0 +1,240 @@
+"""Tests for range-restriction analysis and type inference."""
+
+import pytest
+
+from repro.calculus import (
+    And,
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Eq,
+    Exists,
+    Forall,
+    FunTerm,
+    Implies,
+    In,
+    Index,
+    Name,
+    Not,
+    Or,
+    PathAtom,
+    PathTerm,
+    PathVar,
+    Pred,
+    Query,
+    Sel,
+    SetBind,
+    check_safety,
+    infer_types,
+)
+from repro.calculus.inference import ATT_SORT, PATH_SORT
+from repro.corpus.knuth import knuth_schema
+from repro.corpus.letters import letters_schema
+from repro.errors import QueryTypeError, SafetyError
+from repro.oodb import STRING, c, set_of, tuple_of
+from repro.oodb.types import INTEGER, UnionType
+
+X, Y, I, J = (DataVar(n) for n in "XYIJ")
+P, Q = PathVar("P"), PathVar("Q")
+A = AttVar("A")
+
+
+def knuth_atom(*components):
+    return PathAtom(Name("Knuth_Books"), PathTerm(list(components)))
+
+
+class TestSafety:
+    def test_paper_range_restriction_example(self):
+        # <Knuth_Books P ·volumes[2] Q ·chapters[J](X) ·A(Y)>
+        #   ∧ Y = "Introduction"
+        query = Query([X], Exists([P, Q, J, A, Y], And(
+            knuth_atom(P, Sel("volumes"), Index(1), Q,
+                       Sel("chapters"), Index(J), Bind(X), Sel(A),
+                       Bind(Y)),
+            Eq(Y, Const("Introduction")))))
+        check_safety(query)  # must not raise
+
+    def test_unrestricted_head_rejected(self):
+        query = Query([X], Not(Eq(X, Const(1))))
+        with pytest.raises(SafetyError):
+            check_safety(query)
+
+    def test_comparison_binds_nothing(self):
+        query = Query([X], Pred("lt", [X, Const(3)]))
+        with pytest.raises(SafetyError):
+            check_safety(query)
+
+    def test_equality_with_ground_side_binds(self):
+        check_safety(Query([X], Eq(X, Const(5))))
+        check_safety(Query([X], Eq(Const(5), X)))
+
+    def test_membership_binds_element(self):
+        from repro.oodb import SetValue
+        check_safety(Query([X], In(X, Const(SetValue([1, 2])))))
+
+    def test_membership_with_unbound_collection_rejected(self):
+        query = Query([X, Y], In(X, Y))
+        with pytest.raises(SafetyError):
+            check_safety(query)
+
+    def test_or_branches_must_agree(self):
+        good = Query([X], Or(Eq(X, Const(1)), Eq(X, Const(2))))
+        check_safety(good)
+        bad = Query([X], Or(Eq(X, Const(1)),
+                            Pred("lt", [Const(1), Const(2)])))
+        with pytest.raises(SafetyError):
+            check_safety(bad)
+
+    def test_negation_needs_bound_vars(self):
+        good = Query([P], And(
+            PathAtom(Name("Doc"), PathTerm([P])),
+            Not(PathAtom(Name("Old_Doc"), PathTerm([P])))))
+        check_safety(good)
+        bad = Query([P], Not(PathAtom(Name("Old_Doc"), PathTerm([P]))))
+        with pytest.raises(SafetyError):
+            check_safety(bad)
+
+    def test_conjunct_ordering_is_found(self):
+        # The binder appears after its consumer in source order.
+        query = Query([X], Exists([P], And(
+            Pred("contains", [X, Const("final")]),
+            knuth_atom(P, Sel("status"), Bind(X)))))
+        check_safety(query)
+
+    def test_forall_requires_implication(self):
+        query = Query([X], And(
+            Eq(X, Const(1)),
+            Forall([Y], Eq(Y, Const(2)))))
+        with pytest.raises(SafetyError):
+            check_safety(query)
+
+    def test_forall_with_implication_ok(self):
+        query = Query([X], And(
+            Eq(X, Const(1)),
+            Forall([P, Y], Implies(
+                knuth_atom(P, Sel("status"), Bind(Y)),
+                Pred("neq", [Y, Const("deleted")])))))
+        check_safety(query)
+
+    def test_forall_variable_not_restricted_by_antecedent_rejected(self):
+        # Z is universally quantified but the antecedent never binds it.
+        Z = DataVar("Z")
+        query = Query([X], And(
+            Eq(X, Const(1)),
+            Forall([P, Y, Z], Implies(
+                knuth_atom(P, Sel("status"), Bind(Y)),
+                Pred("neq", [Z, Const("x")])))))
+        with pytest.raises(SafetyError):
+            check_safety(query)
+
+    def test_path_root_must_be_bound(self):
+        # the root of a path predicate is a data variable bound later
+        query = Query([Y], Exists([X, P], And(
+            PathAtom(X, PathTerm([Sel("title"), Bind(Y)])),
+            knuth_atom(P, Sel("sections"), SetBind(X)))))
+        check_safety(query)  # reorderable
+
+    def test_totally_stuck_conjunction(self):
+        query = Query([X, Y], And(
+            PathAtom(X, PathTerm([Bind(Y)])),
+            PathAtom(Y, PathTerm([Bind(X)]))))
+        with pytest.raises(SafetyError):
+            check_safety(query)
+
+
+class TestInference:
+    def test_simple_root_navigation(self):
+        schema = knuth_schema()
+        query = Query([X], Exists([P], knuth_atom(
+            P, Sel("status"), Bind(X))))
+        types = infer_types(query, schema)
+        assert types[X] == STRING
+
+    def test_path_and_att_sorts(self):
+        schema = knuth_schema()
+        query = Query([A], Exists([P, X], And(
+            knuth_atom(P, Sel(A), Bind(X)),
+            Eq(X, Const("Jo")))))
+        types = infer_types(query, schema)
+        assert types[A] == ATT_SORT
+        assert types[P] == PATH_SORT
+
+    def test_union_of_candidates_with_system_markers(self):
+        # X bound through P ·title: volumes, chapters and sections all
+        # carry a title — the paper's α-marked union.
+        schema = knuth_schema()
+        query = Query([X], Exists([P], knuth_atom(
+            P, Bind(X), Sel("title"))))
+        types = infer_types(query, schema)
+        inferred = types[X]
+        assert isinstance(inferred, UnionType)
+        assert all(m.startswith("alpha") for m in inferred.markers)
+        assert len(inferred) >= 3
+
+    def test_single_candidate_is_not_wrapped(self):
+        schema = letters_schema()
+        query = Query([X], Exists([I], PathAtom(
+            Name("Letters"),
+            PathTerm([Index(I), Sel("content"), Bind(X)]))))
+        types = infer_types(query, schema)
+        assert types[X] == STRING
+
+    def test_index_variable_is_integer(self):
+        schema = letters_schema()
+        query = Query([I], Exists([X], PathAtom(
+            Name("Letters"),
+            PathTerm([Index(I), Sel("to"), Bind(X)]))))
+        types = infer_types(query, schema)
+        assert types[I] == INTEGER
+
+    def test_static_type_error_on_impossible_path(self):
+        # Section 5.3: no alternative carries the attribute -> type error.
+        schema = letters_schema()
+        query = Query([X], Exists([I], PathAtom(
+            Name("Letters"),
+            PathTerm([Index(I), Sel("ghost_attribute"), Bind(X)]))))
+        with pytest.raises(QueryTypeError):
+            infer_types(query, schema)
+
+    def test_implicit_selector_typing(self):
+        # ·to on the Letters union: both branches carry it.
+        schema = letters_schema()
+        query = Query([X], Exists([I], PathAtom(
+            Name("Letters"),
+            PathTerm([Index(I), Sel("to"), Bind(X)]))))
+        types = infer_types(query, schema)
+        assert types[X] == STRING
+
+    def test_constant_equality_types(self):
+        schema = knuth_schema()
+        query = Query([X], Eq(X, Const(42)))
+        types = infer_types(query, schema)
+        assert types[X] == INTEGER
+
+    def test_heterogeneous_list_view_typing(self):
+        # Letters[I](Y)[J] ·to — J indexes the tuple as a list.
+        schema = letters_schema()
+        query = Query([Y], Exists([I, J, A], PathAtom(
+            Name("Letters"),
+            PathTerm([Index(I), Sel(A), Bind(Y), Index(J),
+                      Sel("to")]))))
+        types = infer_types(query, schema)
+        assert types[J] == INTEGER
+        assert isinstance(types[Y], UnionType) or types[Y] is not None
+
+    def test_variable_without_source_fails(self):
+        schema = knuth_schema()
+        query = Query([X], Pred("contains", [X, Const("x")]))
+        with pytest.raises(QueryTypeError):
+            infer_types(query, schema)
+
+    def test_deref_typing_through_classes(self):
+        schema = knuth_schema()
+        from repro.calculus import Deref
+        query = Query([X], PathAtom(
+            Name("Knuth_Books"),
+            PathTerm([Sel("volumes"), Index(0), Deref(),
+                      Sel("status"), Bind(X)])))
+        types = infer_types(query, schema)
+        assert types[X] == STRING

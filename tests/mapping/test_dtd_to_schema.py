@@ -1,0 +1,236 @@
+"""Tests for the DTD → schema compiler — experiment F3.
+
+The F3 assertions compare the schema generated from the Figure-1 DTD
+against the paper's Figure 3, class by class.
+"""
+
+import pytest
+
+from repro.corpus.article_dtd import article_dtd
+from repro.errors import MappingError
+from repro.mapping import class_name_for, map_dtd, plural_field_name
+from repro.mapping.naming import MarkerSupply
+from repro.oodb import (
+    ANY,
+    INTEGER,
+    STRING,
+    c,
+    format_schema,
+    list_of,
+    tuple_of,
+    union_of,
+)
+from repro.oodb.types import TupleType, UnionType
+from repro.sgml.dtd_parser import parse_dtd
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    return map_dtd(article_dtd())
+
+
+class TestNaming:
+    def test_class_names(self):
+        assert class_name_for("article") == "Article"
+        assert class_name_for("subsectn") == "Subsectn"
+
+    def test_plurals_match_figure3(self):
+        assert plural_field_name("author") == "authors"
+        assert plural_field_name("section") == "sections"
+        assert plural_field_name("body") == "bodies"
+        assert plural_field_name("subsectn") == "subsectns"
+
+    def test_marker_supply(self):
+        supply = MarkerSupply()
+        assert [supply.fresh() for _ in range(3)] == ["a1", "a2", "a3"]
+
+
+class TestFigure3:
+    """Experiment F3: Figure 1 compiles to the Figure 3 schema."""
+
+    def test_all_classes_present(self, mapped):
+        expected = {
+            "Text", "Bitmap", "Article", "Title", "Author", "Affil",
+            "Abstract", "Section", "Subsectn", "Body", "Figure",
+            "Picture", "Caption", "Paragr", "Acknowl"}
+        assert set(mapped.schema.class_names) == expected
+
+    def test_article_class(self, mapped):
+        structure = mapped.schema.structure("Article")
+        assert structure == tuple_of(
+            ("title", c("Title")),
+            ("authors", list_of(c("Author"))),
+            ("affil", c("Affil")),
+            ("abstract", c("Abstract")),
+            ("sections", list_of(c("Section"))),
+            ("acknowl", c("Acknowl")),
+            ("status", STRING))
+
+    def test_section_union(self, mapped):
+        structure = mapped.schema.structure("Section")
+        assert structure == union_of(
+            ("a1", tuple_of(("title", c("Title")),
+                            ("bodies", list_of(c("Body"))))),
+            ("a2", tuple_of(("title", c("Title")),
+                            ("bodies", list_of(c("Body"))),
+                            ("subsectns", list_of(c("Subsectn"))))))
+
+    def test_body_union_marked_by_element_names(self, mapped):
+        structure = mapped.schema.structure("Body")
+        assert structure == union_of(
+            ("figure", c("Figure")), ("paragr", c("Paragr")))
+
+    def test_figure_class(self, mapped):
+        structure = mapped.schema.structure("Figure")
+        assert structure == tuple_of(
+            ("picture", c("Picture")),
+            ("caption", c("Caption")),
+            ("label", list_of(ANY)))
+
+    def test_text_inheritance(self, mapped):
+        h = mapped.schema.hierarchy
+        for class_name in ("Title", "Author", "Affil", "Abstract",
+                           "Caption", "Paragr", "Acknowl"):
+            assert h.precedes(class_name, "Text"), class_name
+
+    def test_picture_inherits_bitmap(self, mapped):
+        assert mapped.schema.hierarchy.precedes("Picture", "Bitmap")
+
+    def test_paragr_has_reflabel(self, mapped):
+        structure = mapped.schema.structure("Paragr")
+        assert structure.has_attribute("reflabel")
+        assert structure.field_type("reflabel") == ANY
+
+    def test_root_matches_figure3(self, mapped):
+        assert mapped.root_name == "Articles"
+        assert mapped.schema.root_type("Articles") == list_of(c("Article"))
+
+    def test_private_attributes_recorded(self, mapped):
+        assert mapped.is_private("Article", "status")
+        assert mapped.is_private("Figure", "label")
+        assert mapped.is_private("Paragr", "reflabel")
+        assert not mapped.is_private("Article", "title")
+
+    def test_article_constraints(self, mapped):
+        described = {c.describe()
+                     for c in mapped.constraints.for_class("Article")}
+        assert "title != nil" in described
+        assert "authors != list()" in described
+        assert "sections != list()" in described
+        assert "status in set('final', 'draft')" in described
+
+    def test_section_disjunction_constraint(self, mapped):
+        constraints = mapped.constraints.for_class("Section")
+        assert len(constraints) == 1
+        described = constraints[0].describe()
+        assert "a1.title != nil" in described
+        assert "a2.subsectns != list()" in described
+        # the paper's constraint on a2 omits bodies (body* may be empty)
+        assert "a2.bodies" not in described
+
+    def test_schema_well_formed(self, mapped):
+        mapped.schema.hierarchy.check_well_formed()
+
+    def test_rendering_mentions_every_figure3_line(self, mapped):
+        rendered = format_schema(mapped.schema, mapped.constraints)
+        for fragment in (
+                "class Article",
+                "class Title inherit Text",
+                "class Section public type union (a1: tuple",
+                "class Body public type union (figure: Figure, "
+                "paragr: Paragr)",
+                "class Picture inherit Bitmap",
+                "name Articles: list (Article)"):
+            assert fragment in rendered, fragment
+
+
+class TestGeneralMapping:
+    def test_number_attribute_maps_to_integer(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc year NUMBER #REQUIRED>
+        """)
+        mapped = map_dtd(dtd)
+        assert mapped.schema.structure("Doc").field_type("year") == INTEGER
+        described = {c.describe()
+                     for c in mapped.constraints.for_class("Doc")}
+        assert "year != nil" in described
+
+    def test_optional_component_no_constraint(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (title?, note*)>
+            <!ELEMENT title - O (#PCDATA)>
+            <!ELEMENT note - O (#PCDATA)>
+        """)
+        mapped = map_dtd(dtd)
+        structure = mapped.schema.structure("Doc")
+        assert structure.field_type("title") == c("Title")
+        assert structure.field_type("notes") == list_of(c("Note"))
+        assert mapped.constraints.for_class("Doc") == ()
+
+    def test_and_group_expands_to_union_of_orderings(self):
+        # Section 5.3's Letters typing.
+        dtd = parse_dtd("""
+            <!ELEMENT letter - - ((to & from), content)>
+            <!ELEMENT (to|from|content) - O (#PCDATA)>
+        """)
+        mapped = map_dtd(dtd)
+        structure = mapped.schema.structure("Letter")
+        assert isinstance(structure, UnionType)
+        assert set(structure.markers) == {"a1", "a2"}
+        branch_a1 = structure.branch_type("a1")
+        branch_a2 = structure.branch_type("a2")
+        assert branch_a1.attribute_names == ("to", "from", "content")
+        assert branch_a2.attribute_names == ("from", "to", "content")
+
+    def test_oversized_and_group_rejected(self):
+        parts = " & ".join(f"e{i}" for i in range(6))
+        names = "|".join(f"e{i}" for i in range(6))
+        dtd = parse_dtd(f"""
+            <!ELEMENT doc - - ({parts})>
+            <!ELEMENT ({names}) - O (#PCDATA)>
+        """)
+        with pytest.raises(MappingError):
+            map_dtd(dtd)
+
+    def test_nested_group_gets_system_name(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (title, (note | warning))>
+            <!ELEMENT (title|note|warning) - O (#PCDATA)>
+        """)
+        mapped = map_dtd(dtd)
+        structure = mapped.schema.structure("Doc")
+        assert structure.attribute_names == ("title", "a1")
+        assert isinstance(structure.field_type("a1"), UnionType)
+
+    def test_duplicate_component_names_disambiguated(self):
+        dtd = parse_dtd("""
+            <!ELEMENT pair - - (item, item)>
+            <!ELEMENT item - O (#PCDATA)>
+        """)
+        mapped = map_dtd(dtd)
+        structure = mapped.schema.structure("Pair")
+        assert structure.attribute_names == ("item", "item2")
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("""
+            <!ELEMENT para - - (#PCDATA | emph)*>
+            <!ELEMENT emph - O (#PCDATA)>
+        """)
+        mapped = map_dtd(dtd)
+        structure = mapped.schema.structure("Para")
+        assert isinstance(structure, TupleType)
+        inner = structure.field_type("texts")
+        assert inner == list_of(union_of(
+            ("text", STRING), ("emph", c("Emph"))))
+
+    def test_empty_dtd_rejected(self):
+        from repro.sgml.dtd import Dtd
+        with pytest.raises(MappingError):
+            map_dtd(Dtd("ghost"))
+
+    def test_doctype_without_explicit_wrapper(self):
+        dtd = parse_dtd("<!ELEMENT memo - - (#PCDATA)>")
+        mapped = map_dtd(dtd)
+        assert mapped.doctype_class == "Memo"
+        assert mapped.root_name == "Memos"

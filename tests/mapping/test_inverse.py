@@ -1,0 +1,127 @@
+"""Tests for the inverse mapping (database → SGML, footnote 1 / §6)."""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+from repro.mapping import map_dtd
+from repro.mapping.inverse import export_document, schema_to_dtd
+from repro.sgml.dtd_parser import parse_dtd
+from repro.sgml.instance_parser import parse_document
+from repro.sgml.writer import write_document
+
+
+@pytest.fixture()
+def store():
+    s = DocumentStore(ARTICLE_DTD)
+    s.load_text(SAMPLE_ARTICLE, name="my_article")
+    return s
+
+
+class TestSchemaToDtd:
+    def test_regenerated_dtd_parses(self, store):
+        text = store.export_dtd()
+        dtd = parse_dtd(text)
+        assert set(dtd.element_names) == set(store.dtd.element_names)
+
+    def test_regenerated_dtd_maps_to_equivalent_schema(self, store):
+        regenerated = map_dtd(parse_dtd(store.export_dtd()))
+        original = store.mapped
+        for class_name in original.schema.class_names:
+            assert regenerated.schema.structure(class_name) == \
+                original.schema.structure(class_name), class_name
+
+    def test_attlists_survive(self, store):
+        dtd = parse_dtd(store.export_dtd())
+        status = dtd.attlist("article").get("status")
+        assert status.allowed_values == ("final", "draft")
+        assert status.default_value == "draft"
+        assert dtd.attlist("figure").get("label").kind == "ID"
+        assert dtd.attlist("paragr").get("reflabel").kind == "IDREF"
+
+    def test_content_models_survive(self, store):
+        dtd = parse_dtd(store.export_dtd())
+        assert str(dtd.element("article").model) == (
+            "(title, author+, affil, abstract, section+, acknowl)")
+        assert str(dtd.element("body").model) == "(figure | paragr)"
+        assert str(dtd.element("picture").model) == "EMPTY"
+
+
+class TestExportDocument:
+    def test_figure2_round_trip(self, store):
+        exported = store.export_document("my_article")
+        # re-parse the serialization and compare structurally with a
+        # fresh parse of the original (whitespace-normalised on load)
+        original = parse_document(SAMPLE_ARTICLE, store.dtd)
+        assert exported == original
+
+    def test_export_text_reparses_and_revalidates(self, store):
+        text = store.export_text("my_article")
+        tree = parse_document(text, store.dtd)
+        from repro.sgml.validator import validation_problems
+        assert validation_problems(tree, store.dtd) == []
+
+    def test_corpus_round_trip(self):
+        s = DocumentStore(ARTICLE_DTD)
+        oids = [s.load_tree(tree)
+                for tree in generate_corpus(5, seed=3)]
+        for oid, tree in zip(oids, generate_corpus(5, seed=3)):
+            exported = export_document(s.mapped, s.instance, oid,
+                                       s.loader.id_tokens)
+            # normalise the generated tree the way loading does
+            reloaded = parse_document(
+                write_document(tree, s.dtd), s.dtd)
+            assert exported == reloaded
+
+    def test_idref_tokens_survive(self):
+        dtd_text = """
+            <!DOCTYPE doc [
+            <!ELEMENT doc - - (fig+, par+)>
+            <!ELEMENT fig - O (#PCDATA)>
+            <!ATTLIST fig label ID #REQUIRED>
+            <!ELEMENT par - O (#PCDATA)>
+            <!ATTLIST par ref IDREF #IMPLIED> ]>
+        """
+        s = DocumentStore(dtd_text)
+        oid = s.load_text(
+            '<doc><fig label="f1">a figure'
+            '<par ref="f1">see the figure</doc>')
+        exported = s.export_document(oid)
+        figure = exported.first("fig")
+        paragraph = exported.first("par")
+        assert figure.attributes["label"] == "f1"
+        assert paragraph.attributes["ref"] == "f1"
+
+
+class TestUpdateThenExport:
+    def test_update_visible_in_export_and_text(self, store):
+        article = store.instance.root("my_article")
+        value = store.instance.deref(article)
+        title_oid = value.get("title")
+        store.update_text(title_oid, "A Brand New Title")
+        # text() reflects the update
+        assert store.text(title_oid) == "A Brand New Title"
+        assert "A Brand New Title" in store.text(article)
+        # export reflects the update
+        exported = store.export_document("my_article")
+        assert exported.first("title").text_content() == \
+            "A Brand New Title"
+        # ...and queries see it too
+        result = store.query("""
+            select t from my_article PATH_p.title(t)
+            where t contains ("Brand")
+        """)
+        assert len(result) == 1
+
+    def test_update_keeps_instance_valid(self, store):
+        article = store.instance.root("my_article")
+        value = store.instance.deref(article)
+        store.update_text(value.get("abstract"), "Shorter abstract.")
+        store.check()
+
+    def test_update_rejects_non_text_objects(self, store):
+        from repro.errors import MappingError
+        article = store.instance.root("my_article")
+        with pytest.raises(MappingError):
+            store.update_text(article, "nope")

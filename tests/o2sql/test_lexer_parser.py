@@ -1,0 +1,214 @@
+"""Tests for the O₂SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.o2sql import parse, tokenize_query
+from repro.o2sql.ast import (
+    BinOp,
+    BoolOp,
+    Call,
+    ContainsOp,
+    FieldSel,
+    FromPath,
+    FromRange,
+    Ident,
+    IndexSel,
+    Literal,
+    NotOp,
+    PathExpr,
+    SelectQuery,
+    TupleExpr,
+)
+from repro.o2sql.ast import (
+    PAnon,
+    PAttVar,
+    PAttr,
+    PBind,
+    PIndex,
+    PVar,
+)
+from repro.o2sql.lexer import ATTVAR, IDENT, KEYWORD, PATHVAR, PUNCT
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_query("SELECT t FROM a")
+        assert tokens[0].kind == KEYWORD and tokens[0].value == "select"
+        assert tokens[2].kind == KEYWORD and tokens[2].value == "from"
+
+    def test_path_and_att_variables(self):
+        tokens = tokenize_query("PATH_p ATT_a plain")
+        assert tokens[0].kind == PATHVAR
+        assert tokens[1].kind == ATTVAR
+        assert tokens[2].kind == IDENT
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize_query("\"text\" 'more' 42 2.5")
+        assert [t.value for t in tokens[:4]] == ["text", "more", "42",
+                                                 "2.5"]
+
+    def test_two_char_punctuation(self):
+        tokens = tokenize_query(".. <= -> !=")
+        assert [t.value for t in tokens[:4]] == ["..", "<=", "->", "!="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize_query("select -- a comment\n t from X")
+        values = [t.value for t in tokens if t.kind != "END"]
+        assert "comment" not in values
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query('"unterminated')
+
+    def test_positions_tracked(self):
+        tokens = tokenize_query("select\n  t")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestParserSelect:
+    def test_q1_shape(self):
+        query = parse("""
+            select tuple (t: a.title, f_author: first(a.authors))
+            from a in Articles, s in a.sections
+            where s.title contains ("SGML" and "OODBMS")
+        """)
+        assert isinstance(query, SelectQuery)
+        assert len(query.select) == 1
+        assert isinstance(query.select[0], TupleExpr)
+        assert [type(f) for f in query.from_items] == [
+            FromRange, FromRange]
+        assert isinstance(query.where, ContainsOp)
+        assert query.where.pattern.source == '( "SGML" and "OODBMS" )'
+
+    def test_q3_shape(self):
+        query = parse("select t from my_article PATH_p.title(t)")
+        (item,) = query.from_items
+        assert isinstance(item, FromPath)
+        assert item.path.root == Ident("my_article")
+        assert item.path.components == (
+            PVar("PATH_p"), PAttr("title"), PBind("t"))
+
+    def test_dotdot_sugar(self):
+        query = parse("select t from my_article .. .title(t)")
+        (item,) = query.from_items
+        assert isinstance(item.path.components[0], PAnon)
+
+    def test_q5_shape(self):
+        query = parse("""
+            select name(ATT_a)
+            from my_article PATH_p.ATT_a(val)
+            where val contains ("final")
+        """)
+        (item,) = query.from_items
+        assert item.path.components == (
+            PVar("PATH_p"), PAttVar("ATT_a"), PBind("val"))
+        assert isinstance(query.select[0], Call)
+
+    def test_q6_positional_from_items(self):
+        query = parse("""
+            select letter
+            from letter in Letters, letter[i].from, letter[j].to
+            where i < j
+        """)
+        assert len(query.from_items) == 3
+        second = query.from_items[1]
+        assert isinstance(second, FromPath)
+        assert second.path.components == (PIndex("i"), PAttr("from"))
+        assert isinstance(query.where, BinOp)
+        assert query.where.op == "<"
+
+    def test_keyword_attribute_names(self):
+        # `from` used as an attribute name after '.'
+        query = parse("select l from l in Letters where l.from = 'x'")
+        condition = query.where
+        assert isinstance(condition.left, FieldSel)
+        assert condition.left.name == "from"
+
+    def test_where_boolean_structure(self):
+        query = parse("""
+            select x from x in Xs
+            where x.a = 1 and (x.b = 2 or not x.c = 3)
+        """)
+        assert isinstance(query.where, BoolOp)
+        assert query.where.op == "and"
+        inner = query.where.operands[1]
+        assert isinstance(inner, BoolOp) and inner.op == "or"
+        assert isinstance(inner.operands[1], NotOp)
+
+    def test_index_selection_expression(self):
+        query = parse("select x from x in Xs where x.items[0] = 'y'")
+        left = query.where.left
+        assert isinstance(left, IndexSel)
+        assert left.index == 0
+
+    def test_near_call(self):
+        query = parse(
+            "select x from x in Xs where near(x.t, 'a', 'b', 3)")
+        assert isinstance(query.where, Call)
+        assert query.where.function == "near"
+
+    def test_multiple_select_items(self):
+        query = parse("select a, b from a in As, b in Bs")
+        assert len(query.select) == 2
+
+
+class TestParserExpressions:
+    def test_q4_difference(self):
+        query = parse("my_article PATH_p - my_old_article PATH_p")
+        assert isinstance(query, BinOp)
+        assert query.op == "-"
+        assert isinstance(query.left, PathExpr)
+        assert isinstance(query.right, PathExpr)
+
+    def test_bare_path_expression(self):
+        query = parse("my_article PATH_p.title")
+        assert isinstance(query, PathExpr)
+        assert query.components == (PVar("PATH_p"), PAttr("title"))
+
+    def test_bare_projection(self):
+        query = parse("my_section.subsectns")
+        assert isinstance(query, FieldSel)
+
+    def test_union_intersect(self):
+        query = parse("(select x from x in Xs) union "
+                      "(select y from y in Ys)")
+        assert isinstance(query, BinOp) and query.op == "union"
+
+    def test_literals(self):
+        assert parse("42") == Literal(42)
+        assert parse("2.5") == Literal(2.5)
+        assert parse("true") == Literal(True)
+        from repro.oodb.values import NIL
+        assert parse("nil") == Literal(NIL)
+
+    def test_nested_tuple_and_collections(self):
+        query = parse("tuple (a: list(1, 2), b: set())")
+        assert isinstance(query, TupleExpr)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("bad", [
+        "select",                      # missing select list
+        "select t",                    # missing from
+        "select t from",               # missing from item
+        "select t from a in",          # missing collection
+        "select t from a in As where", # missing condition
+        "select t from a in As extra", # trailing input
+        "select t from a ,",           # dangling comma
+        "x contains",                  # pattern missing
+        "tuple (a 1)",                 # missing ':'
+        "x[",                          # unterminated index
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+    def test_error_has_position(self):
+        try:
+            parse("select t\nfrom ???")
+        except QuerySyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected QuerySyntaxError")

@@ -1,0 +1,295 @@
+"""Experiments Q1–Q6: the paper's Section-4 queries, end to end.
+
+Each query is run as O₂SQL text through the full pipeline
+(parse → calculus → safety → types → evaluation) against either the
+Figure-2 document, a synthetic corpus, or the letters database.
+"""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+from repro.errors import QueryTypeError, WrongBranchAccess
+from repro.oodb import Oid, SetValue, TupleValue
+from repro.paths import Path
+
+
+@pytest.fixture(scope="module")
+def store():
+    """Figure 2 plus a synthetic corpus, with named roots."""
+    s = DocumentStore(ARTICLE_DTD)
+    s.load_text(SAMPLE_ARTICLE, name="my_article")
+    s.load_text(SAMPLE_ARTICLE, name="my_old_article")
+    for tree in generate_corpus(15, seed=42):
+        s.load_tree(tree)
+    s.check()
+    return s
+
+
+class TestQ1:
+    """Q1: title + first author of articles having a section with a
+    title containing "SGML" and "OODBMS"."""
+
+    QUERY = """
+        select tuple (t: a.title, f_author: first(a.authors))
+        from a in Articles, s in a.sections
+        where s.title contains ("SGML" and "OODBMS")
+    """
+
+    def test_rows_have_title_and_first_author(self, store):
+        result = store.query(self.QUERY)
+        assert isinstance(result, SetValue)
+        assert len(result) > 0
+        for row in result:
+            assert isinstance(row, TupleValue)
+            assert row.attribute_names == ("t", "f_author")
+            assert isinstance(row.get("t"), Oid)
+
+    def test_selection_is_correct(self, store):
+        result = store.query(self.QUERY)
+        selected_titles = {store.text(row.get("t")) for row in result}
+        # cross-check with a manual scan
+        expected = set()
+        articles = store.instance.root("Articles")
+        for article_oid in articles:
+            article = store.instance.deref(article_oid)
+            for section_oid in article.get("sections"):
+                section = store.instance.deref(section_oid)
+                title_oid = section.marked_value.get("title")
+                title_text = store.text(title_oid)
+                if "SGML" in title_text.split() and \
+                        "OODBMS" in title_text.split():
+                    expected.add(store.text(article.get("title")))
+        assert selected_titles == expected
+
+    def test_q1_is_selective(self, store):
+        result = store.query(self.QUERY)
+        total = len(store.instance.root("Articles"))
+        assert 0 < len(result) < total
+
+
+class TestQ2:
+    """Q2: subsections containing the sentence "complex object".
+
+    ``contains`` over a logical object applies text() automatically
+    (Section 4.2); the variable ss ranges over subsectns through the
+    implicit a2 selector."""
+
+    QUERY = """
+        select ss
+        from a in Articles, s in a.sections, ss in s.subsectns
+        where ss contains ("complex object")
+    """
+
+    def test_implicit_selector_skips_a1_sections(self, store):
+        # must not fail although most sections have no subsectns
+        result = store.query(self.QUERY)
+        for ss in result:
+            assert ss.class_name == "Subsectn"
+            assert "complex object" in store.text(ss)
+
+    def test_agreement_with_explicit_text(self, store):
+        explicit = store.query("""
+            select ss
+            from a in Articles, s in a.sections, ss in s.subsectns
+            where text(ss) contains ("complex object")
+        """)
+        assert store.query(self.QUERY) == explicit
+
+    def test_subsections_exist_in_corpus(self, store):
+        # sanity: the corpus must exercise the a2 branch at all
+        all_ss = store.query("""
+            select ss
+            from a in Articles, s in a.sections, ss in s.subsectns
+        """)
+        assert len(all_ss) > 0
+
+
+class TestQ3:
+    """Q3: all titles in my_article, via a path variable."""
+
+    QUERY = "select t from my_article PATH_p.title(t)"
+
+    def test_titles_at_all_levels(self, store):
+        result = store.query(self.QUERY)
+        texts = {store.text(t) for t in result}
+        assert "From Structured Documents to Novel Query Facilities" \
+            in texts
+        assert "Introduction" in texts
+        assert "SGML preliminaries" in texts
+        assert len(result) == 3
+
+    def test_dotdot_sugar_equivalent(self, store):
+        sugar = store.query("select t from my_article .. .title(t)")
+        assert sugar == store.query(self.QUERY)
+
+    def test_paths_themselves_queryable(self, store):
+        result = store.query("select PATH_p, t "
+                             "from my_article PATH_p.title(t)")
+        paths = {str(row.get("PATH_p")) for row in result}
+        assert "->" in paths                       # the article's own title
+        assert any(".sections[0]" in p for p in paths)
+
+    def test_bare_path_expression_query(self, store):
+        # `my_article PATH_p.title` returns the set of paths P such that
+        # P·title applies.  With implicit dereferencing and implicit
+        # union selectors, several prefixes reach each title-bearing
+        # position (e.g. both `.sections[0]` — the oid — and
+        # `.sections[0]->` — its value).
+        result = store.query("my_article PATH_p.title")
+        assert all(isinstance(p, Path) for p in result)
+        rendered = {str(p) for p in result}
+        assert "->" in rendered                       # the article tuple
+        assert "->.sections[0]->" in rendered
+        assert "->.sections[1]->" in rendered
+        # every returned path must actually lead to a title
+        article = store.instance.root("my_article")
+        for path in result:
+            reached = path.apply(article, store.instance)
+            from repro.paths.steps import apply_step, AttrStep
+            from repro.oodb import Oid
+            if isinstance(reached, Oid):
+                reached = store.instance.deref(reached)
+            assert apply_step(reached, AttrStep("title"),
+                              store.instance) is not None
+
+
+class TestQ4:
+    """Q4: structural difference between two versions."""
+
+    def test_identical_versions_differ_nowhere(self, store):
+        result = store.query(
+            "my_article PATH_p - my_old_article PATH_p")
+        assert len(result) == 0
+
+    def test_modified_version_shows_new_paths(self):
+        s = DocumentStore(ARTICLE_DTD)
+        s.load_text(SAMPLE_ARTICLE, name="my_old_article")
+        extended = SAMPLE_ARTICLE.replace(
+            "<acknowl>",
+            "<section><title> A brand new section\n"
+            "<body><paragr> Fresh content here.\n</body></section>\n"
+            "<acknowl>")
+        s.load_text(extended, name="my_article")
+        diff = s.query("my_article PATH_p - my_old_article PATH_p")
+        rendered = {str(p) for p in diff}
+        assert any(".sections[2]" in p for p in rendered)
+        # untouched paths are not in the difference
+        assert "->.title" not in rendered
+
+    def test_intersection_and_union(self, store):
+        both = store.query(
+            "my_article PATH_p intersect my_old_article PATH_p")
+        either = store.query(
+            "my_article PATH_p union my_old_article PATH_p")
+        assert len(both) == len(either)  # identical versions
+
+
+class TestQ5:
+    """Q5: attributes whose value contains "final"."""
+
+    QUERY = """
+        select name(ATT_a)
+        from my_article PATH_p.ATT_a(val)
+        where val contains ("final")
+    """
+
+    def test_finds_status(self, store):
+        result = store.query(self.QUERY)
+        assert set(result) == {"status"}
+
+    def test_grep_style_search(self, store):
+        # the "Unix grep inside an OODBMS" reading: search every
+        # attribute for a content word
+        result = store.query("""
+            select name(ATT_a)
+            from my_article PATH_p.ATT_a(val)
+            where val contains ("Introduction")
+        """)
+        assert "text" in set(result)
+
+
+class TestQ6:
+    """Q6: letters where the sender precedes the recipient."""
+
+    @pytest.fixture(scope="class")
+    def letters_engine(self):
+        from repro.calculus.evaluator import EvalContext
+        from repro.corpus.letters import build_letters_database
+        from repro.o2sql import QueryEngine
+        return QueryEngine(build_letters_database())
+
+    QUERY = """
+        select letter
+        from letter in Letters, letter[i].from, letter[j].to
+        where i < j
+    """
+
+    def test_sender_first_letters(self, letters_engine):
+        result = letters_engine.run(self.QUERY)
+        assert len(result) == 3
+        for letter in result:
+            assert letter.marker == "a1"
+            assert letter.marked_value.attribute_names[0] == "from"
+
+    def test_recipient_first_complement(self, letters_engine):
+        result = letters_engine.run("""
+            select letter
+            from letter in Letters, letter[i].from, letter[j].to
+            where j < i
+        """)
+        assert len(result) == 2
+        for letter in result:
+            assert letter.marker == "a2"
+
+    def test_projection_through_markers(self, letters_engine):
+        # Important Omissions: project on `to` without knowing markers
+        result = letters_engine.run(
+            "select x from l in Letters, l.to(x)")
+        assert "INRIA" in set(result)
+
+
+class TestUnionTypeRules:
+    """Section 4.2's named-instance vs variable distinction."""
+
+    def test_named_instance_wrong_branch_raises(self, store):
+        # my_article's sections are a1-marked; register one as a name
+        article = store.instance.root("my_article")
+        section = store.instance.deref(article).get("sections")[0]
+        store.define_name("my_section", section)
+        marker = store.instance.deref(section).marker
+        assert marker == "a1"
+        with pytest.raises(WrongBranchAccess):
+            store.query("my_section.subsectns")
+
+    def test_variable_wrong_branch_is_false(self, store):
+        # the same access through a variable silently skips a1 sections
+        result = store.query("""
+            select ss from a in Articles, s in a.sections,
+                          ss in s.subsectns
+        """)
+        assert isinstance(result, SetValue)  # no error
+
+
+class TestStaticChecks:
+    def test_unknown_identifier_rejected(self, store):
+        with pytest.raises(QueryTypeError):
+            store.query("select x from x in Nonexistent_Root")
+
+    def test_impossible_attribute_rejected(self, store):
+        with pytest.raises(QueryTypeError):
+            store.query(
+                "select x from a in Articles, a PATH_p.zzz_ghost(x)")
+
+    def test_check_reports_types(self, store):
+        types = store.check_query(
+            "select t from my_article PATH_p.title(t)")
+        rendered = {str(v): str(t) for v, t in types.items()}
+        assert rendered["PATH_p"] == "PATH"
+        assert rendered["t"] == "Title"
+
+    def test_explain_shows_calculus(self, store):
+        text = store.explain("select t from my_article PATH_p.title(t)")
+        assert "<my_article" in text
+        assert "PATH_p" in text

@@ -1,0 +1,184 @@
+"""Unit tests for the O₂SQL → calculus translation."""
+
+import pytest
+
+from repro.calculus import (
+    And,
+    AttVar,
+    Const,
+    DataVar,
+    Eq,
+    Exists,
+    FunTerm,
+    In,
+    Not,
+    Or,
+    PathAtom,
+    PathVar,
+    Pred,
+    Query,
+)
+from repro.errors import QueryTypeError
+from repro.o2sql import parse, to_calculus
+
+ROOTS = {"Articles", "Letters", "my_article", "my_old_article"}
+
+
+def translate(text: str) -> Query:
+    return to_calculus(parse(text), ROOTS)
+
+
+def _unwrap(formula):
+    """Strip the outer Exists for structural inspection."""
+    while isinstance(formula, Exists):
+        formula = formula.body
+    return formula
+
+
+class TestSelectTranslation:
+    def test_range_item_becomes_membership(self):
+        query = translate("select a from a in Articles")
+        body = _unwrap(query.formula)
+        assert isinstance(body, In)
+        assert query.head == (DataVar("a"),)
+
+    def test_where_becomes_conjunct(self):
+        query = translate(
+            "select a from a in Articles where a.status = 'final'")
+        body = _unwrap(query.formula)
+        assert isinstance(body, And)
+        kinds = {type(c) for c in body.conjuncts}
+        assert kinds == {In, Eq}
+
+    def test_path_item_becomes_path_atom(self):
+        query = translate("select t from my_article PATH_p.title(t)")
+        body = _unwrap(query.formula)
+        assert isinstance(body, PathAtom)
+        assert PathVar("PATH_p") in body.path.variables()
+        assert DataVar("t") in body.path.variables()
+
+    def test_hidden_variables_quantified(self):
+        query = translate("select t from my_article PATH_p.title(t)")
+        assert isinstance(query.formula, Exists)
+        assert PathVar("PATH_p") in query.formula.variables
+
+    def test_anonymous_path_variable_for_dotdot(self):
+        query = translate("select t from my_article .. .title(t)")
+        body = _unwrap(query.formula)
+        (pvar,) = [v for v in body.path.variables()
+                   if isinstance(v, PathVar)]
+        assert pvar.name.startswith("PATH_anon")
+
+    def test_select_expression_gets_result_variable(self):
+        query = translate(
+            "select first(a.authors) from a in Articles")
+        body = _unwrap(query.formula)
+        eq = [c for c in body.conjuncts if isinstance(c, Eq)][0]
+        assert isinstance(eq.right, FunTerm)
+        assert query.head[0].name.startswith("_first")
+
+    def test_contains_becomes_predicate_with_pattern(self):
+        query = translate("""
+            select a from a in Articles
+            where a.status contains ("final" or "draft")
+        """)
+        body = _unwrap(query.formula)
+        pred = [c for c in body.conjuncts if isinstance(c, Pred)][0]
+        assert pred.predicate == "contains"
+        from repro.text.patterns import OrExpr
+        assert isinstance(pred.arguments[1].value, OrExpr)
+
+    def test_comparisons_map_to_predicates(self):
+        for op, predicate in [("<", "lt"), ("<=", "le"), (">", "gt"),
+                              (">=", "ge"), ("!=", "neq")]:
+            query = translate(
+                f"select l from l in Letters, l[i].from, l[j].to "
+                f"where i {op} j")
+            body = _unwrap(query.formula)
+            preds = [c for c in body.conjuncts if isinstance(c, Pred)]
+            assert preds[0].predicate == predicate, op
+
+    def test_boolean_structure_preserved(self):
+        query = translate("""
+            select a from a in Articles
+            where not (a.status = 'x' or a.status = 'y')
+        """)
+        body = _unwrap(query.formula)
+        negation = [c for c in body.conjuncts
+                    if isinstance(c, Not)][0]
+        assert isinstance(negation.child, Or)
+
+    def test_attvar_usable_in_select(self):
+        query = translate("""
+            select ATT_a from my_article PATH_p.ATT_a(v)
+        """)
+        assert query.head == (AttVar("ATT_a"),)
+
+
+class TestExpressionQueries:
+    def test_difference_builds_membership_form(self):
+        query = translate("my_article PATH_p - my_old_article PATH_p")
+        body = query.formula
+        assert isinstance(body, And)
+        membership, negation = body.conjuncts
+        assert isinstance(membership, In)
+        assert isinstance(negation, Not)
+        assert isinstance(negation.child, In)
+        # both collections are nested queries
+        assert isinstance(membership.collection, Query)
+
+    def test_union_intersect(self):
+        union = translate(
+            "my_article PATH_p union my_old_article PATH_p")
+        assert isinstance(union.formula, Or)
+        intersect = translate(
+            "my_article PATH_p intersect my_old_article PATH_p")
+        assert isinstance(intersect.formula, And)
+
+    def test_bare_path_expression(self):
+        query = translate("my_article PATH_p")
+        assert query.head == (PathVar("PATH_p"),)
+        assert isinstance(query.formula, PathAtom)
+
+    def test_bare_projection_is_singleton_query(self):
+        query = translate("my_article.title")
+        assert len(query.head) == 1
+        body = query.formula
+        assert isinstance(body, Eq)
+
+    def test_unknown_identifier_raises(self):
+        with pytest.raises(QueryTypeError):
+            translate("select x from x in GhostRoot")
+
+    def test_undeclared_index_variable_raises(self):
+        with pytest.raises(QueryTypeError):
+            translate("select a from a in Articles "
+                      "where a.sections[zzz] = 1")
+
+    def test_bare_dot_is_projection_not_path_expression(self):
+        # `my_article .title` parses as a field selection (projection),
+        # not a path expression — same as `my_article.title`.
+        assert str(translate("my_article .title")) == \
+            str(translate("my_article.title"))
+
+    def test_variable_free_path_expression_rejected(self):
+        # unreachable through the surface syntax, but the translator
+        # guards against programmatic construction
+        from repro.o2sql.ast import Ident, PAttr, PathExpr
+        from repro.o2sql.translate import (
+            _Scope, _translate_expression_query)
+        node = PathExpr(Ident("my_article"), [PAttr("title")])
+        with pytest.raises(QueryTypeError):
+            _translate_expression_query(node, _Scope(frozenset(ROOTS)))
+
+
+class TestRoundTripThroughStr:
+    @pytest.mark.parametrize("text", [
+        "select a from a in Articles",
+        "select t from my_article PATH_p.title(t)",
+        "my_article PATH_p - my_old_article PATH_p",
+        """select tuple (t: a.title, n: count(a.authors))
+           from a in Articles where a.status = "final" """,
+    ])
+    def test_translation_is_deterministic(self, text):
+        assert str(translate(text)) == str(translate(text))

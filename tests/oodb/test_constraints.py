@@ -1,0 +1,174 @@
+"""Tests for the Figure-3 constraint language."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.oodb import (
+    ConstraintSet,
+    Disjunction,
+    Instance,
+    ListValue,
+    NIL,
+    NotEmpty,
+    NotNil,
+    OneOf,
+    STRING,
+    TupleValue,
+    UnionValue,
+    c,
+    list_of,
+    schema_from_classes,
+    tuple_of,
+    union_of,
+)
+
+
+@pytest.fixture
+def schema():
+    classes = {
+        "Title": STRING,
+        "Article": tuple_of(
+            ("title", c("Title")),
+            ("authors", list_of(STRING)),
+            ("status", STRING)),
+        "Body": union_of(("figure", STRING), ("paragr", STRING)),
+        "Section": union_of(
+            ("a1", tuple_of(("title", c("Title")),
+                            ("bodies", list_of(STRING)))),
+            ("a2", tuple_of(("title", c("Title")),
+                            ("subsectns", list_of(STRING))))),
+    }
+    return schema_from_classes(classes)
+
+
+@pytest.fixture
+def db(schema):
+    return Instance(schema)
+
+
+def make_article(db, title_value="T", authors=("a",), status="draft"):
+    title = db.new_object("Title", title_value)
+    return db.new_object("Article", TupleValue([
+        ("title", title),
+        ("authors", ListValue(authors)),
+        ("status", status)]))
+
+
+class TestNotNil:
+    def test_holds_on_oid(self, db):
+        make_article(db)
+        constraints = ConstraintSet()
+        constraints.add("Article", NotNil("title"))
+        constraints.check_instance(db)
+
+    def test_fails_on_nil(self, db):
+        db.new_object("Article", TupleValue([
+            ("title", NIL), ("authors", ListValue(["a"])),
+            ("status", "draft")]))
+        constraints = ConstraintSet()
+        constraints.add("Article", NotNil("title"))
+        with pytest.raises(ConstraintViolation) as exc:
+            constraints.check_instance(db)
+        assert "Article" in str(exc.value)
+
+    def test_nested_path_through_deref(self, db):
+        # Dereference the title oid, then there is no further attribute:
+        # a NotNil on a missing nested attribute fails cleanly.
+        make_article(db)
+        constraints = ConstraintSet()
+        constraints.add("Article", NotNil("title", "ghost"))
+        with pytest.raises(ConstraintViolation):
+            constraints.check_instance(db)
+
+
+class TestNotEmpty:
+    def test_holds_on_non_empty_list(self, db):
+        make_article(db, authors=("x", "y"))
+        constraints = ConstraintSet()
+        constraints.add("Article", NotEmpty("authors"))
+        constraints.check_instance(db)
+
+    def test_fails_on_empty_list(self, db):
+        make_article(db, authors=())
+        constraints = ConstraintSet()
+        constraints.add("Article", NotEmpty("authors"))
+        with pytest.raises(ConstraintViolation):
+            constraints.check_instance(db)
+
+    def test_fails_on_non_collection(self, db):
+        make_article(db)
+        constraints = ConstraintSet()
+        constraints.add("Article", NotEmpty("status"))
+        with pytest.raises(ConstraintViolation):
+            constraints.check_instance(db)
+
+
+class TestOneOf:
+    def test_enumeration(self, db):
+        make_article(db, status="final")
+        constraints = ConstraintSet()
+        constraints.add("Article", OneOf(["status"], ["final", "draft"]))
+        constraints.check_instance(db)
+
+    def test_out_of_range(self, db):
+        make_article(db, status="published")
+        constraints = ConstraintSet()
+        constraints.add("Article", OneOf(["status"], ["final", "draft"]))
+        with pytest.raises(ConstraintViolation):
+            constraints.check_instance(db)
+
+
+class TestDisjunction:
+    def test_body_style_disjunction(self, db):
+        # Figure 3: constraint figure != nil | paragr != nil
+        db.new_object("Body", UnionValue("figure", "a picture"))
+        db.new_object("Body", UnionValue("paragr", "a paragraph"))
+        constraints = ConstraintSet()
+        constraints.add("Body", Disjunction(
+            [NotNil("figure")], [NotNil("paragr")]))
+        constraints.check_instance(db)
+
+    def test_disjunction_fails_when_no_alternative(self, db):
+        db.new_object("Body", UnionValue("figure", NIL))
+        constraints = ConstraintSet()
+        constraints.add("Body", Disjunction(
+            [NotNil("figure")], [NotNil("paragr")]))
+        with pytest.raises(ConstraintViolation):
+            constraints.check_instance(db)
+
+    def test_section_style_per_branch_constraints(self, db):
+        title = db.new_object("Title", "T")
+        db.new_object("Section", UnionValue("a1", TupleValue([
+            ("title", title), ("bodies", ListValue(["b"]))])))
+        constraints = ConstraintSet()
+        constraints.add("Section", Disjunction(
+            [NotNil("a1", "title"), NotEmpty("a1", "bodies")],
+            [NotNil("a2", "title"), NotEmpty("a2", "subsectns")]))
+        constraints.check_instance(db)
+
+
+class TestConstraintSet:
+    def test_violations_report_all(self, db):
+        make_article(db, status="bogus", authors=())
+        constraints = ConstraintSet()
+        constraints.add("Article", NotEmpty("authors"))
+        constraints.add("Article", OneOf(["status"], ["final", "draft"]))
+        found = constraints.violations(db)
+        assert len(found) == 2
+        assert all(class_name == "Article" for class_name, _ in found)
+
+    def test_len_and_class_names(self):
+        constraints = ConstraintSet()
+        constraints.add("A", NotNil("x"))
+        constraints.add("A", NotNil("y"))
+        constraints.add("B", NotNil("z"))
+        assert len(constraints) == 3
+        assert set(constraints.class_names) == {"A", "B"}
+
+    def test_describe_round_trip(self):
+        assert NotNil("a", "b").describe() == "a.b != nil"
+        assert NotEmpty("xs").describe() == "xs != list()"
+        assert OneOf(["s"], ["final", "draft"]).describe() == (
+            "s in set('final', 'draft')")
+        disj = Disjunction([NotNil("a")], [NotNil("b")])
+        assert "|" in disj.describe()

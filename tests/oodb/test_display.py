@@ -1,0 +1,99 @@
+"""Tests for the pretty-printers."""
+
+from repro.oodb import (
+    ANY,
+    INTEGER,
+    ListValue,
+    NIL,
+    Oid,
+    STRING,
+    SetValue,
+    TupleValue,
+    c,
+    format_type,
+    format_value,
+    list_of,
+    schema_from_classes,
+    set_of,
+    tuple_of,
+    union_of,
+)
+from repro.oodb.display import format_class, format_schema
+
+
+class TestFormatType:
+    def test_figure3_style(self):
+        assert format_type(tuple_of(
+            ("title", c("Title")),
+            ("authors", list_of(c("Author"))))) == \
+            "tuple (title: Title, authors: list (Author))"
+        assert format_type(union_of(
+            ("figure", c("Figure")), ("paragr", c("Paragr")))) == \
+            "union (figure: Figure, paragr: Paragr)"
+        assert format_type(set_of(STRING)) == "set (string)"
+        assert format_type(ANY) == "any"
+        assert format_type(INTEGER) == "integer"
+
+
+class TestFormatClass:
+    def test_redundant_inherited_structure_omitted(self):
+        schema = schema_from_classes(
+            {"Text": tuple_of(("text", STRING)),
+             "Title": tuple_of(("text", STRING))},
+            parents={"Title": ["Text"]})
+        assert format_class(schema, "Title") == "class Title inherit Text"
+
+    def test_extended_structure_shown(self):
+        schema = schema_from_classes(
+            {"Text": tuple_of(("text", STRING)),
+             "Paragr": tuple_of(("text", STRING), ("ref", ANY))},
+            parents={"Paragr": ["Text"]})
+        rendered = format_class(schema, "Paragr")
+        assert rendered.startswith("class Paragr inherit Text public type")
+
+    def test_constraints_rendered(self):
+        from repro.oodb import ConstraintSet, NotNil
+        schema = schema_from_classes({"A": tuple_of(("x", STRING))})
+        constraints = ConstraintSet()
+        constraints.add("A", NotNil("x"))
+        rendered = format_class(schema, "A", constraints)
+        assert "constraint: x != nil" in rendered
+
+
+class TestFormatValue:
+    def test_atoms(self):
+        assert format_value(NIL) == "nil"
+        assert format_value(42) == "42"
+        assert format_value("hi") == "'hi'"
+        assert format_value(Oid(3, "A")) == "o3:A"
+
+    def test_long_strings_truncated(self):
+        rendered = format_value("x" * 100, max_string=10)
+        assert "..." in rendered
+        assert len(rendered) < 20
+
+    def test_nested_structure(self):
+        value = TupleValue([
+            ("a", ListValue([1, 2])),
+            ("b", SetValue(["x"]))])
+        rendered = format_value(value)
+        assert "tuple(" in rendered
+        assert "list(" in rendered
+        assert "set(" in rendered
+        # indentation grows with depth
+        lines = rendered.splitlines()
+        assert any(line.startswith("    ") for line in lines)
+
+    def test_empty_collections(self):
+        assert format_value(ListValue()) == "list()"
+        assert format_value(SetValue()) == "set()"
+        assert format_value(TupleValue([])) == "tuple()"
+
+
+class TestFormatSchema:
+    def test_roots_listed_last(self):
+        schema = schema_from_classes(
+            {"A": tuple_of(("x", STRING))},
+            roots={"As": list_of(c("A"))})
+        rendered = format_schema(schema)
+        assert rendered.splitlines()[-1] == "name As: list (A)"

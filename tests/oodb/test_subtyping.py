@@ -1,0 +1,198 @@
+"""Tests for the extended subtyping rules (Sections 4.2, 5.1)."""
+
+import pytest
+
+from repro.errors import SubtypingError
+from repro.oodb import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    STRING,
+    c,
+    common_supertype,
+    is_subtype,
+    list_of,
+    merge_unions,
+    set_of,
+    tuple_of,
+    union_all,
+    union_of,
+)
+
+
+class TestBasicSubtyping:
+    def test_reflexive(self):
+        for tp in (INTEGER, STRING, c("A"), list_of(INTEGER),
+                   tuple_of(("a", INTEGER)), union_of(("a", INTEGER))):
+            assert is_subtype(tp, tp)
+
+    def test_atomic_types_disjoint(self):
+        assert not is_subtype(INTEGER, STRING)
+        assert not is_subtype(BOOLEAN, INTEGER)
+
+    def test_any_is_top_of_class_hierarchy_only(self):
+        assert is_subtype(c("Article"), ANY)
+        assert not is_subtype(INTEGER, ANY)
+        assert not is_subtype(tuple_of(("a", INTEGER)), ANY)
+        assert not is_subtype(ANY, c("Article"))
+
+    def test_class_order_callable(self):
+        leq = lambda sub, sup: (sub, sup) == ("Title", "Text")
+        assert is_subtype(c("Title"), c("Text"), leq)
+        assert not is_subtype(c("Text"), c("Title"), leq)
+
+    def test_collection_covariance(self):
+        leq = lambda sub, sup: (sub, sup) == ("Title", "Text")
+        assert is_subtype(list_of(c("Title")), list_of(c("Text")), leq)
+        assert is_subtype(set_of(c("Title")), set_of(c("Text")), leq)
+        assert not is_subtype(list_of(c("Text")), list_of(c("Title")), leq)
+
+    def test_list_set_incomparable(self):
+        assert not is_subtype(list_of(INTEGER), set_of(INTEGER))
+        assert not is_subtype(set_of(INTEGER), list_of(INTEGER))
+
+
+class TestTupleSubtyping:
+    def test_width_subtyping(self):
+        wide = tuple_of(("a", INTEGER), ("b", STRING), ("c", BOOLEAN))
+        narrow = tuple_of(("a", INTEGER), ("c", BOOLEAN))
+        assert is_subtype(wide, narrow)
+        assert not is_subtype(narrow, wide)
+
+    def test_order_preserved_requirement(self):
+        wide = tuple_of(("a", INTEGER), ("b", STRING))
+        swapped = tuple_of(("b", STRING), ("a", INTEGER))
+        assert not is_subtype(wide, swapped)
+
+    def test_depth_subtyping(self):
+        leq = lambda sub, sup: (sub, sup) == ("Title", "Text")
+        sub = tuple_of(("t", c("Title")))
+        sup = tuple_of(("t", c("Text")))
+        assert is_subtype(sub, sup, leq)
+
+
+class TestPaperRules:
+    """The two new subtyping rules highlighted in Section 5.1."""
+
+    def test_one_field_tuple_below_union(self):
+        # [ai: ti] <= (... + ai: ti + ...)
+        single = tuple_of(("a", INTEGER))
+        union = union_of(("a", INTEGER), ("b", STRING))
+        assert is_subtype(single, union)
+
+    def test_full_chain(self):
+        # [a1:t1,...,an:tn] <= [ai:ti] <= (a1:t1+...+an:tn)
+        full = tuple_of(("a", INTEGER), ("b", STRING))
+        single = tuple_of(("a", INTEGER))
+        union = union_of(("a", INTEGER), ("b", STRING))
+        assert is_subtype(full, single)
+        assert is_subtype(single, union)
+        assert is_subtype(full, union)  # transitivity holds directly
+
+    def test_tuple_not_below_unrelated_union(self):
+        full = tuple_of(("a", INTEGER))
+        union = union_of(("x", INTEGER), ("y", STRING))
+        assert not is_subtype(full, union)
+
+    def test_tuple_as_heterogeneous_list(self):
+        # [a1:t1,...,an:tn] <= [(a1:t1+...+an:tn)]
+        tup = tuple_of(("a", INTEGER), ("b", STRING))
+        het_list = list_of(union_of(("a", INTEGER), ("b", STRING)))
+        assert is_subtype(tup, het_list)
+
+    def test_tuple_below_wider_heterogeneous_list(self):
+        tup = tuple_of(("a", INTEGER))
+        het_list = list_of(union_of(("a", INTEGER), ("b", STRING)))
+        assert is_subtype(tup, het_list)
+
+    def test_tuple_not_below_narrow_heterogeneous_list(self):
+        tup = tuple_of(("a", INTEGER), ("b", STRING))
+        het_list = list_of(union_of(("a", INTEGER)))
+        assert not is_subtype(tup, het_list)
+
+    def test_union_width_subtyping(self):
+        small = union_of(("a", INTEGER))
+        big = union_of(("a", INTEGER), ("b", STRING))
+        assert is_subtype(small, big)
+        assert not is_subtype(big, small)
+
+
+class TestCommonSupertype:
+    def test_trivial_directions(self):
+        assert common_supertype(INTEGER, INTEGER) == INTEGER
+        wide = tuple_of(("a", INTEGER), ("b", STRING))
+        narrow = tuple_of(("a", INTEGER))
+        assert common_supertype(wide, narrow) == narrow
+
+    def test_rule1_union_vs_non_union_fails(self):
+        # Section 4.2 rule 1: no common supertype between a union type and
+        # a non-union type (modulo the tuple injection, covered above).
+        with pytest.raises(SubtypingError):
+            common_supertype(set_of(INTEGER),
+                             set_of(union_of(("a", INTEGER), ("b", STRING))))
+
+    def test_rule2_union_merge(self):
+        # (a:int + b:bool) join (b:bool + c:string)
+        #   = (a:int + b:bool + c:string)
+        left = union_of(("a", INTEGER), ("b", BOOLEAN))
+        right = union_of(("b", BOOLEAN), ("c", STRING))
+        merged = common_supertype(left, right)
+        assert merged == union_of(
+            ("a", INTEGER), ("b", BOOLEAN), ("c", STRING))
+
+    def test_rule2_marker_conflict(self):
+        left = union_of(("a", INTEGER))
+        right = union_of(("a", STRING))
+        with pytest.raises(SubtypingError):
+            merge_unions(left, right)
+
+    def test_classes_join_at_any_without_schema(self):
+        assert common_supertype(c("A"), c("B")) == ANY
+
+    def test_classes_join_with_class_join(self):
+        join = lambda l, r: "Text" if {l, r} == {"Title", "Author"} else None
+        leq = lambda sub, sup: sup == "Text" and sub in (
+            "Title", "Author", "Text")
+        result = common_supertype(c("Title"), c("Author"), leq, join)
+        assert result == c("Text")
+
+    def test_tuple_join_on_shared_attributes(self):
+        left = tuple_of(("a", INTEGER), ("b", STRING))
+        right = tuple_of(("a", INTEGER), ("c", BOOLEAN))
+        assert common_supertype(left, right) == tuple_of(("a", INTEGER))
+
+    def test_tuple_join_no_shared_attribute_fails(self):
+        with pytest.raises(SubtypingError):
+            common_supertype(tuple_of(("a", INTEGER)),
+                             tuple_of(("b", INTEGER)))
+
+    def test_atomic_cross_fails(self):
+        with pytest.raises(SubtypingError):
+            common_supertype(INTEGER, STRING)
+
+    def test_union_all_folds(self):
+        types = [union_of(("a", INTEGER)), union_of(("b", STRING)),
+                 union_of(("c", BOOLEAN))]
+        assert union_all(types) == union_of(
+            ("a", INTEGER), ("b", STRING), ("c", BOOLEAN))
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(SubtypingError):
+            union_all([])
+
+
+class TestSubtypeImpliesDomainContainment:
+    """If t <= t' then dom(t) ⊆ dom(t') — spot-checked with values."""
+
+    def test_tuple_value_in_union_domain(self):
+        from repro.oodb import TupleValue, value_in_type
+        union = union_of(("a", INTEGER), ("b", STRING))
+        value = TupleValue([("a", 5)])
+        assert value_in_type(value, tuple_of(("a", INTEGER)))
+        assert value_in_type(value, union)
+
+    def test_wide_tuple_value_in_narrow_domain(self):
+        from repro.oodb import TupleValue, value_in_type
+        value = TupleValue([("a", 5), ("b", "x")])
+        assert value_in_type(value, tuple_of(("a", INTEGER), ("b", STRING)))
+        assert value_in_type(value, tuple_of(("a", INTEGER)))

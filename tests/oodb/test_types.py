@@ -1,0 +1,164 @@
+"""Unit tests for the type constructors (Section 5.1)."""
+
+import pytest
+
+from repro.errors import TypeConstructionError
+from repro.oodb import (
+    ANY,
+    AtomicType,
+    BOOLEAN,
+    ClassType,
+    FLOAT,
+    INTEGER,
+    ListType,
+    STRING,
+    SetType,
+    TupleType,
+    UnionType,
+    c,
+    list_of,
+    set_of,
+    tuple_of,
+    union_of,
+)
+from repro.oodb.types import iter_subterms, referenced_classes
+
+
+class TestAtomicTypes:
+    def test_four_atomic_types_exist(self):
+        assert {t.name for t in (INTEGER, STRING, BOOLEAN, FLOAT)} == {
+            "integer", "string", "boolean", "float"}
+
+    def test_interned(self):
+        assert AtomicType("integer") is INTEGER
+        assert AtomicType("string") is STRING
+
+    def test_unknown_atomic_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            AtomicType("char")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            INTEGER.name = "other"
+
+    def test_str(self):
+        assert str(FLOAT) == "float"
+
+
+class TestClassAndAny:
+    def test_class_equality_by_name(self):
+        assert c("Article") == ClassType("Article")
+        assert c("Article") != c("Section")
+
+    def test_class_name_validation(self):
+        with pytest.raises(TypeConstructionError):
+            ClassType("")
+        with pytest.raises(TypeConstructionError):
+            ClassType("1bad")
+
+    def test_any_singleton(self):
+        from repro.oodb.types import AnyType
+        assert AnyType() is ANY
+        assert str(ANY) == "any"
+
+    def test_hashable(self):
+        assert len({c("A"), c("A"), ANY, ANY}) == 2
+
+
+class TestCollections:
+    def test_list_and_set_distinct(self):
+        assert list_of(INTEGER) != set_of(INTEGER)
+        assert list_of(INTEGER) == ListType(INTEGER)
+        assert set_of(STRING) == SetType(STRING)
+
+    def test_nested(self):
+        nested = list_of(set_of(c("Body")))
+        assert nested.element == set_of(c("Body"))
+        assert str(nested) == "list(set(Body))"
+
+    def test_element_must_be_type(self):
+        with pytest.raises(TypeConstructionError):
+            ListType("integer")  # type: ignore[arg-type]
+
+
+class TestTupleType:
+    def test_order_matters(self):
+        ab = tuple_of(("a", INTEGER), ("b", STRING))
+        ba = tuple_of(("b", STRING), ("a", INTEGER))
+        assert ab != ba
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            tuple_of(("a", INTEGER), ("a", STRING))
+
+    def test_field_access(self):
+        t = tuple_of(("title", STRING), ("count", INTEGER))
+        assert t.field_type("title") == STRING
+        assert t.has_attribute("count")
+        assert not t.has_attribute("missing")
+        with pytest.raises(KeyError):
+            t.field_type("missing")
+
+    def test_position_of(self):
+        t = tuple_of(("x", INTEGER), ("y", INTEGER), ("z", INTEGER))
+        assert t.position_of("x") == 0
+        assert t.position_of("z") == 2
+        with pytest.raises(KeyError):
+            t.position_of("w")
+
+    def test_keyword_construction(self):
+        assert tuple_of(title=STRING) == tuple_of(("title", STRING))
+
+    def test_iter_and_len(self):
+        t = tuple_of(("a", INTEGER), ("b", STRING))
+        assert list(t) == [("a", INTEGER), ("b", STRING)]
+        assert len(t) == 2
+
+    def test_str_matches_figure3_style(self):
+        t = tuple_of(("title", c("Title")), ("bodies", list_of(c("Body"))))
+        assert str(t) == "tuple(title: Title, bodies: list(Body))"
+
+
+class TestUnionType:
+    def test_branch_order_ignored_for_equality(self):
+        u1 = union_of(("a", INTEGER), ("b", STRING))
+        u2 = union_of(("b", STRING), ("a", INTEGER))
+        assert u1 == u2
+        assert hash(u1) == hash(u2)
+
+    def test_markers(self):
+        u = union_of(("figure", c("Figure")), ("paragr", c("Paragr")))
+        assert u.markers == ("figure", "paragr")
+        assert u.branch_type("figure") == c("Figure")
+        assert u.has_marker("paragr")
+        assert not u.has_marker("table")
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            UnionType([])
+
+    def test_duplicate_marker_rejected(self):
+        with pytest.raises(TypeConstructionError):
+            union_of(("a", INTEGER), ("a", STRING))
+
+    def test_union_vs_tuple_distinct(self):
+        assert union_of(("a", INTEGER)) != tuple_of(("a", INTEGER))
+
+
+class TestTypeTraversal:
+    def test_iter_subterms(self):
+        t = tuple_of(("xs", list_of(union_of(("a", c("A")), ("b", INTEGER)))))
+        subterms = list(iter_subterms(t))
+        assert c("A") in subterms
+        assert INTEGER in subterms
+        assert t in subterms
+
+    def test_referenced_classes(self):
+        t = tuple_of(
+            ("title", c("Title")),
+            ("bodies", list_of(union_of(
+                ("figure", c("Figure")), ("paragr", c("Paragr"))))))
+        assert referenced_classes(t) == {"Title", "Figure", "Paragr"}
+
+    def test_referenced_classes_empty(self):
+        assert referenced_classes(tuple_of(("n", INTEGER))) == set()

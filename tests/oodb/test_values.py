@@ -1,0 +1,199 @@
+"""Tests for the value model (Section 5.1)."""
+
+import pytest
+
+from repro.errors import ValueError_
+from repro.oodb import (
+    ListValue,
+    NIL,
+    Nil,
+    Oid,
+    SetValue,
+    TupleValue,
+    UnionValue,
+    equivalent,
+    is_value,
+)
+from repro.oodb.values import deep_size
+
+
+class TestNil:
+    def test_singleton(self):
+        assert Nil() is NIL
+
+    def test_falsy(self):
+        assert not NIL
+
+    def test_equality(self):
+        assert NIL == Nil()
+        assert NIL != 0
+        assert NIL != ""
+
+
+class TestOid:
+    def test_identity(self):
+        assert Oid(1, "A") == Oid(1, "A")
+        assert Oid(1, "A") != Oid(2, "A")
+
+    def test_hashable(self):
+        assert len({Oid(1, "A"), Oid(1, "A"), Oid(2, "A")}) == 2
+
+    def test_repr(self):
+        assert repr(Oid(7, "Article")) == "o7:Article"
+
+
+class TestTupleValue:
+    def test_order_sensitive_equality(self):
+        # Section 5.1: for any non-identity permutation the tuples differ.
+        ab = TupleValue([("a", 1), ("b", 2)])
+        ba = TupleValue([("b", 2), ("a", 1)])
+        assert ab != ba
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError_):
+            TupleValue([("a", 1), ("a", 2)])
+
+    def test_get_and_has(self):
+        t = TupleValue([("title", "SGML"), ("year", 1994)])
+        assert t.get("title") == "SGML"
+        assert t.has_attribute("year")
+        with pytest.raises(KeyError):
+            t.get("missing")
+
+    def test_replace_is_functional(self):
+        t = TupleValue([("a", 1), ("b", 2)])
+        t2 = t.replace("a", 10)
+        assert t.get("a") == 1
+        assert t2.get("a") == 10
+        assert t2.get("b") == 2
+        with pytest.raises(KeyError):
+            t.replace("zzz", 0)
+
+    def test_as_heterogeneous_list(self):
+        t = TupleValue([("a", 1), ("b", 2)])
+        het = t.as_heterogeneous_list()
+        assert isinstance(het, ListValue)
+        assert het[0] == TupleValue([("a", 1)])
+        assert het[1] == TupleValue([("b", 2)])
+
+    def test_marked_accessors(self):
+        u = UnionValue("figure", Oid(3, "Figure"))
+        assert u.is_marked
+        assert u.marker == "figure"
+        assert u.marked_value == Oid(3, "Figure")
+
+    def test_marked_accessors_reject_wide_tuples(self):
+        t = TupleValue([("a", 1), ("b", 2)])
+        assert not t.is_marked
+        with pytest.raises(ValueError_):
+            _ = t.marker
+        with pytest.raises(ValueError_):
+            _ = t.marked_value
+
+    def test_position_of(self):
+        t = TupleValue([("to", "x"), ("from", "y")])
+        assert t.position_of("to") == 0
+        assert t.position_of("from") == 1
+
+
+class TestListValue:
+    def test_indexing_and_slicing(self):
+        lst = ListValue([10, 20, 30])
+        assert lst[0] == 10
+        assert lst[-1] == 30
+        assert lst[0:2] == ListValue([10, 20])
+
+    def test_concatenation(self):
+        assert ListValue([1]) + ListValue([2]) == ListValue([1, 2])
+
+    def test_equality_is_ordered(self):
+        assert ListValue([1, 2]) != ListValue([2, 1])
+
+    def test_empty(self):
+        assert len(ListValue()) == 0
+
+
+class TestSetValue:
+    def test_deduplication(self):
+        s = SetValue([1, 2, 2, 3, 1])
+        assert len(s) == 3
+
+    def test_order_insensitive_equality(self):
+        assert SetValue([1, 2]) == SetValue([2, 1])
+        assert hash(SetValue([1, 2])) == hash(SetValue([2, 1]))
+
+    def test_set_algebra(self):
+        a = SetValue([1, 2, 3])
+        b = SetValue([2, 3, 4])
+        assert a.union(b) == SetValue([1, 2, 3, 4])
+        assert a.intersection(b) == SetValue([2, 3])
+        assert a.difference(b) == SetValue([1])
+        assert SetValue([2]).issubset(a)
+        assert not a.issubset(b)
+
+    def test_deterministic_iteration(self):
+        s = SetValue([3, 1, 2])
+        assert list(s) == [3, 1, 2]  # insertion order preserved
+
+
+class TestIsValue:
+    def test_accepts_model_values(self):
+        candidates = [
+            NIL, Oid(1, "A"), 5, "x", True, 2.5,
+            TupleValue([("a", ListValue([SetValue([1])]))]),
+        ]
+        for candidate in candidates:
+            assert is_value(candidate)
+
+    def test_rejects_foreign_objects(self):
+        assert not is_value(object())
+        assert not is_value([1, 2])  # raw Python list is not a model value
+        assert not is_value(TupleValue([("a", object())]))
+
+
+class TestEquivalence:
+    """The ≡ relation: tuple vs heterogeneous list (Section 5.1)."""
+
+    def test_tuple_equiv_marked_list(self):
+        tup = TupleValue([("a", 5), ("b", 6)])
+        het = ListValue([TupleValue([("a", 5)]), TupleValue([("b", 6)])])
+        assert equivalent(tup, het)
+        assert equivalent(het, tup)
+
+    def test_not_equiv_when_marker_differs(self):
+        tup = TupleValue([("a", 5)])
+        het = ListValue([TupleValue([("b", 5)])])
+        assert not equivalent(tup, het)
+
+    def test_not_equiv_when_length_differs(self):
+        tup = TupleValue([("a", 5), ("b", 6)])
+        het = ListValue([TupleValue([("a", 5)])])
+        assert not equivalent(tup, het)
+
+    def test_recursive_equivalence(self):
+        inner_tup = TupleValue([("x", 1)])
+        inner_het = ListValue([TupleValue([("x", 1)])])
+        left = ListValue([inner_tup])
+        right = ListValue([inner_het])
+        assert equivalent(left, right)
+
+    def test_plain_equality_implies_equivalence(self):
+        assert equivalent(5, 5)
+        assert equivalent("a", "a")
+        assert not equivalent(5, 6)
+
+    def test_set_equivalence(self):
+        left = SetValue([TupleValue([("a", 1)])])
+        right = SetValue([ListValue([TupleValue([("a", 1)])])])
+        assert equivalent(left, right)
+
+
+class TestDeepSize:
+    def test_atom_is_one(self):
+        assert deep_size(5) == 1
+        assert deep_size(NIL) == 1
+
+    def test_nested(self):
+        value = TupleValue([("a", ListValue([1, 2]))])
+        # tuple + list + 2 atoms
+        assert deep_size(value) == 4

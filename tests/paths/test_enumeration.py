@@ -1,0 +1,140 @@
+"""Tests for concrete-path enumeration under both semantics."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.oodb import (
+    Instance,
+    ListValue,
+    STRING,
+    SetValue,
+    TupleValue,
+    c,
+    schema_from_classes,
+    tuple_of,
+)
+from repro.paths import LIBERAL, RESTRICTED, Path, enumerate_paths, paths_from
+from repro.paths.enumeration import path_difference
+
+
+class TestValueEnumeration:
+    def test_includes_empty_path(self):
+        paths = enumerate_paths(42)
+        assert paths == [Path.EMPTY]
+
+    def test_tuple_paths(self):
+        value = TupleValue([("a", 1), ("b", 2)])
+        paths = enumerate_paths(value)
+        assert set(paths) == {Path.EMPTY, Path.of("a"), Path.of("b")}
+
+    def test_nested_paths_document_order(self):
+        value = TupleValue([
+            ("title", "T"),
+            ("sections", ListValue([
+                TupleValue([("title", "S0")]),
+                TupleValue([("title", "S1")])]))])
+        paths = enumerate_paths(value)
+        assert Path.of("sections", 0, "title") in paths
+        assert Path.of("sections", 1, "title") in paths
+        # deterministic order: first run == second run
+        assert paths == enumerate_paths(value)
+
+    def test_set_paths(self):
+        value = SetValue([1, 2])
+        paths = enumerate_paths(value)
+        assert len(paths) == 3  # empty + one per element
+
+    def test_reached_values(self):
+        value = TupleValue([("a", ListValue(["x"]))])
+        reached = dict(paths_from(value))
+        assert reached[Path.EMPTY] == value
+        assert reached[Path.of("a", 0)] == "x"
+
+    def test_max_paths_guard(self):
+        value = ListValue(range(100))
+        with pytest.raises(EvaluationError):
+            enumerate_paths(value, max_paths=10)
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(EvaluationError):
+            enumerate_paths(1, semantics="bogus")
+
+
+@pytest.fixture
+def spouses_db():
+    """The Section 5.2 example: persons with spouses (a class cycle)."""
+    schema = schema_from_classes({
+        "Person": tuple_of(
+            ("name", STRING),
+            ("husband", c("Person")))})
+    db = Instance(schema)
+    alice = db.new_object("Person")
+    bob = db.new_object("Person")
+    db.set_value(alice, TupleValue([("name", "Alice"), ("husband", bob)]))
+    db.set_value(bob, TupleValue([("name", "Bob"), ("husband", alice)]))
+    return db, alice, bob
+
+
+class TestRestrictedSemantics:
+    def test_one_deref_per_class(self, spouses_db):
+        db, alice, _ = spouses_db
+        paths = enumerate_paths(alice, db, RESTRICTED)
+        # -> .name reachable; -> .husband -> .name is NOT (two Person
+        # dereferences) — exactly the paper's Alice example.
+        assert Path.of(..., "name") in paths
+        assert Path.of(..., "husband") in paths
+        assert Path.of(..., "husband", ..., "name") not in paths
+
+    def test_restricted_is_schema_bounded(self, spouses_db):
+        db, alice, _ = spouses_db
+        paths = enumerate_paths(alice, db, RESTRICTED)
+        assert max(len(p) for p in paths) <= 3
+
+
+class TestLiberalSemantics:
+    def test_no_object_visited_twice(self, spouses_db):
+        db, alice, _ = spouses_db
+        paths = enumerate_paths(alice, db, LIBERAL)
+        # Alice -> husband(Bob) -> name works: two distinct objects.
+        assert Path.of(..., "husband", ..., "name") in paths
+        # But looping back to Alice does not.
+        assert Path.of(..., "husband", ..., "husband", ..., "name") \
+            not in paths
+
+    def test_liberal_superset_of_restricted(self, spouses_db):
+        db, alice, _ = spouses_db
+        restricted = set(enumerate_paths(alice, db, RESTRICTED))
+        liberal = set(enumerate_paths(alice, db, LIBERAL))
+        assert restricted <= liberal
+        assert liberal - restricted  # strictly more on cyclic data
+
+    def test_liberal_terminates_on_cycles(self, spouses_db):
+        db, alice, _ = spouses_db
+        # termination itself is the assertion
+        assert len(enumerate_paths(alice, db, LIBERAL)) < 100
+
+
+class TestPathDifference:
+    """Q4: structural difference between document versions."""
+
+    def test_added_paths_detected(self):
+        old = TupleValue([("title", "T"),
+                          ("sections", ListValue([
+                              TupleValue([("title", "S0")])]))])
+        new = TupleValue([("title", "T"),
+                          ("sections", ListValue([
+                              TupleValue([("title", "S0")]),
+                              TupleValue([("title", "S1")])]))])
+        diff = path_difference(new, old)
+        assert Path.of("sections", 1) in diff
+        assert Path.of("sections", 1, "title") in diff
+        assert Path.of("title") not in diff
+
+    def test_identical_versions_empty_diff(self):
+        value = TupleValue([("a", 1)])
+        assert path_difference(value, value) == []
+
+    def test_removed_paths_via_swapped_arguments(self):
+        old = TupleValue([("a", 1), ("b", 2)])
+        new = TupleValue([("a", 1)])
+        assert path_difference(old, new) == [Path.of("b")]

@@ -1,0 +1,134 @@
+"""Property-based tests on path invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oodb import Instance, ListValue, STRING, TupleValue, c
+from repro.oodb import schema_from_classes, tuple_of
+from repro.oodb.values import SetValue
+from repro.paths import (
+    LIBERAL,
+    RESTRICTED,
+    Path,
+    enumerate_paths,
+    paths_from,
+)
+from repro.paths.pathops import path_length, path_project
+from repro.paths.steps import AttrStep, DEREF, IndexStep
+
+# -- value strategies (acyclic trees, no oids) -------------------------------
+
+attribute_names = st.sampled_from(["a", "b", "c", "d"])
+atoms = st.one_of(st.integers(-9, 9), st.text(max_size=4))
+
+
+def _extend(children):
+    return st.one_of(
+        st.builds(TupleValue, st.lists(
+            st.tuples(attribute_names, children), max_size=3,
+            unique_by=lambda kv: kv[0])),
+        st.builds(ListValue, st.lists(children, max_size=3)),
+        st.builds(SetValue, st.lists(children, max_size=3)),
+    )
+
+
+values = st.recursive(atoms, _extend, max_leaves=15)
+
+# -- path strategies ----------------------------------------------------------
+
+steps = st.one_of(
+    st.builds(AttrStep, attribute_names),
+    st.builds(IndexStep, st.integers(0, 3)),
+    st.just(DEREF),
+)
+paths = st.builds(Path, st.lists(steps, max_size=6))
+
+
+class TestPathValueProperties:
+    @given(paths, paths)
+    def test_concatenation_length(self, left, right):
+        assert len(left + right) == len(left) + len(right)
+
+    @given(paths, paths)
+    def test_concatenation_prefix(self, left, right):
+        assert (left + right).startswith(left)
+        assert (left + right).endswith(right)
+
+    @given(paths)
+    def test_projection_covers_whole_path(self, path):
+        if len(path):
+            assert path_project(path, 0, len(path) - 1) == path
+
+    @given(paths)
+    def test_length_function(self, path):
+        assert path_length(path) == len(path)
+
+    @given(paths)
+    def test_string_rendering_unique_per_path(self, path):
+        # two equal paths render equally; rendering is injective on
+        # these step types (no ElemStep involved)
+        rebuilt = Path(tuple(path))
+        assert str(rebuilt) == str(path)
+        assert rebuilt == path
+
+
+class TestEnumerationProperties:
+    @given(values)
+    @settings(max_examples=100)
+    def test_every_enumerated_path_applies(self, value):
+        for path, reached in paths_from(value):
+            assert path.apply(value) == reached
+
+    @given(values)
+    @settings(max_examples=100)
+    def test_paths_are_unique(self, value):
+        listed = enumerate_paths(value)
+        assert len(listed) == len(set(listed))
+
+    @given(values)
+    def test_empty_path_always_first(self, value):
+        assert enumerate_paths(value)[0] == Path.EMPTY
+
+    @given(values)
+    @settings(max_examples=60)
+    def test_prefix_closure(self, value):
+        """The path set is prefix-closed (every prefix of an enumerated
+        path is enumerated)."""
+        listed = set(enumerate_paths(value))
+        for path in listed:
+            for cut in range(len(path)):
+                assert Path(path.steps[:cut]) in listed
+
+    @given(values)
+    @settings(max_examples=60)
+    def test_restricted_equals_liberal_without_objects(self, value):
+        # with no oids the two semantics coincide
+        assert enumerate_paths(value, semantics=RESTRICTED) == \
+            enumerate_paths(value, semantics=LIBERAL)
+
+
+class TestSemanticsWithObjects:
+    @given(st.integers(1, 6))
+    def test_restricted_subset_of_liberal_on_chains(self, length):
+        schema = schema_from_classes(
+            {"Node": tuple_of(("label", STRING), ("next", c("Node")))})
+        db = Instance(schema)
+        nodes = [db.new_object("Node") for _ in range(length)]
+        from repro.oodb.values import NIL
+        for position, node in enumerate(nodes):
+            successor = (nodes[position + 1]
+                         if position + 1 < length else NIL)
+            db.set_value(node, TupleValue([
+                ("label", f"n{position}"), ("next", successor)]))
+        restricted = set(enumerate_paths(nodes[0], db, RESTRICTED))
+        liberal = set(enumerate_paths(nodes[0], db, LIBERAL))
+        assert restricted <= liberal
+        # restricted is schema-bounded: at most one Node dereference
+        assert all(
+            sum(1 for step in path if step == DEREF) <= 1
+            for path in restricted)
+        # liberal reaches the end of the chain
+        deepest = max(
+            sum(1 for step in path if step == DEREF)
+            for path in liberal)
+        assert deepest == length

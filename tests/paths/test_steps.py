@@ -1,0 +1,186 @@
+"""Tests for concrete paths and their application."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.oodb import (
+    Instance,
+    ListValue,
+    STRING,
+    SetValue,
+    TupleValue,
+    UnionValue,
+    c,
+    list_of,
+    schema_from_classes,
+    tuple_of,
+)
+from repro.paths import (
+    AttrStep,
+    DEREF,
+    DerefStep,
+    ElemStep,
+    IndexStep,
+    Path,
+    path_length,
+    path_project,
+    path_startswith,
+)
+from repro.paths.pathops import path_concat
+
+
+class TestPathValue:
+    def test_rendering_matches_paper(self):
+        path = Path.of("sections", 0, "subsectns", 0)
+        assert str(path) == ".sections[0].subsectns[0]"
+
+    def test_empty_path_renders_epsilon(self):
+        assert str(Path.EMPTY) == "ε"
+
+    def test_of_with_deref(self):
+        path = Path.of("spouse", ..., "name")
+        assert path.steps == (AttrStep("spouse"), DEREF, AttrStep("name"))
+
+    def test_of_rejects_bool_and_junk(self):
+        with pytest.raises(EvaluationError):
+            Path.of(True)
+        with pytest.raises(EvaluationError):
+            Path.of(3.5)
+
+    def test_equality_and_hash(self):
+        assert Path.of("a", 0) == Path.of("a", 0)
+        assert Path.of("a", 0) != Path.of("a", 1)
+        assert len({Path.of("a"), Path.of("a"), Path.of("b")}) == 2
+
+    def test_immutability(self):
+        path = Path.of("a")
+        with pytest.raises(AttributeError):
+            path.steps = ()
+
+    def test_concatenation(self):
+        assert Path.of("a") + Path.of(0) == Path.of("a", 0)
+
+    def test_extended(self):
+        assert Path.of("a").extended(IndexStep(1)) == Path.of("a", 1)
+
+    def test_prefix_suffix(self):
+        path = Path.of("a", 0, "b")
+        assert path.startswith(Path.of("a"))
+        assert path.startswith(Path.EMPTY)
+        assert not path.startswith(Path.of("b"))
+        assert path.endswith(Path.of("b"))
+        assert path.endswith(Path.EMPTY)
+
+    def test_steps_are_hashable_and_comparable(self):
+        assert AttrStep("a") == AttrStep("a")
+        assert AttrStep("a") != IndexStep(0)
+        assert DerefStep() == DEREF
+        assert ElemStep(5) == ElemStep(5)
+        assert len({AttrStep("a"), AttrStep("a"), DEREF, DEREF}) == 2
+
+
+class TestPaperListFunctions:
+    """Section 4.3 item 4: P = .sections[0].subsectns[0]."""
+
+    def test_length_is_four(self):
+        path = Path.of("sections", 0, "subsectns", 0)
+        assert path_length(path) == 4
+
+    def test_projection_inclusive(self):
+        path = Path.of("sections", 0, "subsectns", 0)
+        assert path_project(path, 0, 1) == Path.of("sections", 0)
+
+    def test_projection_bad_bounds(self):
+        path = Path.of("a", "b")
+        with pytest.raises(EvaluationError):
+            path_project(path, 2, 1)
+        with pytest.raises(EvaluationError):
+            path_project(path, -1, 0)
+
+    def test_python_slicing_exclusive(self):
+        path = Path.of("a", "b", "c")
+        assert path[0:2] == Path.of("a", "b")
+        assert path[1] == AttrStep("b")
+
+    def test_startswith_function(self):
+        assert path_startswith(Path.of("a", 0), Path.of("a"))
+        with pytest.raises(EvaluationError):
+            path_startswith(Path.of("a"), "not a path")
+
+    def test_concat_function(self):
+        assert path_concat(Path.of("a"), Path.of("b")) == Path.of("a", "b")
+
+    def test_length_rejects_non_path(self):
+        with pytest.raises(EvaluationError):
+            path_length("not a path")
+
+
+@pytest.fixture
+def db():
+    schema = schema_from_classes(
+        {"Title": STRING,
+         "Section": tuple_of(("title", c("Title"))),
+         "Article": tuple_of(
+             ("title", c("Title")),
+             ("sections", list_of(c("Section"))))})
+    return Instance(schema)
+
+
+class TestApplication:
+    def test_tuple_and_list_steps(self, db):
+        value = TupleValue([
+            ("title", "T"),
+            ("sections", ListValue(["s0", "s1"]))])
+        assert Path.of("title").apply(value) == "T"
+        assert Path.of("sections", 1).apply(value) == "s1"
+
+    def test_deref(self, db):
+        title = db.new_object("Title", "Introduction")
+        value = TupleValue([("title", title)])
+        assert Path.of("title", ...).apply(value, db) == "Introduction"
+
+    def test_deref_without_instance_fails(self, db):
+        title = db.new_object("Title", "Introduction")
+        value = TupleValue([("title", title)])
+        with pytest.raises(EvaluationError):
+            Path.of("title", ...).apply(value)
+
+    def test_set_element_step(self):
+        value = SetValue([1, 2, 3])
+        assert Path([ElemStep(2)]).apply(value) == 2
+        with pytest.raises(EvaluationError):
+            Path([ElemStep(9)]).apply(value)
+
+    def test_index_into_tuple_heterogeneous_view(self):
+        # Section 5.1: [to: 'x', from: 'y'][0] = [to: 'x']
+        value = TupleValue([("to", "x"), ("from", "y")])
+        first = Path.of(0).apply(value)
+        assert first == TupleValue([("to", "x")])
+
+    def test_implicit_selector_through_marker(self):
+        # s.title where s = [a1: [title: 'T', bodies: ...]]
+        section = UnionValue("a1", TupleValue([
+            ("title", "T"), ("bodies", ListValue())]))
+        assert Path.of("title").apply(section) == "T"
+        # the explicit marker also works
+        assert Path.of("a1", "title").apply(section) == "T"
+
+    def test_missing_attribute_fails(self):
+        value = TupleValue([("a", 1)])
+        with pytest.raises(EvaluationError):
+            Path.of("ghost").apply(value)
+
+    def test_index_out_of_range_fails(self):
+        with pytest.raises(EvaluationError):
+            Path.of(5).apply(ListValue([1]))
+
+    def test_attr_on_atom_fails(self):
+        with pytest.raises(EvaluationError):
+            Path.of("a").apply(42)
+
+    def test_deref_on_non_oid_fails(self, db):
+        with pytest.raises(EvaluationError):
+            Path([DEREF]).apply("not an oid", db)
+
+    def test_empty_path_is_identity(self):
+        assert Path.EMPTY.apply(42) == 42

@@ -1,0 +1,153 @@
+"""Tests for the Glushkov content automata."""
+
+import pytest
+
+from repro.errors import ContentModelError
+from repro.sgml.automata import (
+    ContentAutomaton,
+    ambiguity_witness,
+    expand_and_groups,
+)
+from repro.sgml.contentmodel import PCDATA_NAME, parse_content_model
+
+
+def automaton(text: str) -> ContentAutomaton:
+    return ContentAutomaton(parse_content_model(text))
+
+
+class TestAcceptance:
+    def test_simple_sequence(self):
+        auto = automaton("(a, b, c)")
+        assert auto.accepts(["a", "b", "c"])
+        assert not auto.accepts(["a", "b"])
+        assert not auto.accepts(["a", "c", "b"])
+        assert not auto.accepts([])
+
+    def test_occurrences(self):
+        auto = automaton("(a?, b+, c*)")
+        assert auto.accepts(["b"])
+        assert auto.accepts(["a", "b", "b", "c", "c"])
+        assert not auto.accepts(["a"])
+        assert not auto.accepts(["a", "c"])
+
+    def test_choice(self):
+        auto = automaton("(a | b)")
+        assert auto.accepts(["a"])
+        assert auto.accepts(["b"])
+        assert not auto.accepts(["a", "b"])
+
+    def test_article_model(self):
+        auto = automaton("(title, author+, affil, abstract, section+, acknowl)")
+        assert auto.accepts(["title", "author", "author", "affil",
+                             "abstract", "section", "acknowl"])
+        assert not auto.accepts(["title", "affil", "abstract", "section",
+                                 "acknowl"])  # author+ requires one
+
+    def test_section_model_both_branches(self):
+        auto = automaton("((title, body+) | (title, body*, subsectn+))")
+        assert auto.accepts(["title", "body"])
+        assert auto.accepts(["title", "body", "body"])
+        assert auto.accepts(["title", "subsectn"])
+        assert auto.accepts(["title", "body", "subsectn", "subsectn"])
+        assert not auto.accepts(["title"])
+        assert not auto.accepts(["body"])
+
+    def test_empty_model(self):
+        auto = automaton("EMPTY")
+        assert auto.accepts([])
+        assert not auto.accepts(["a"])
+
+    def test_any_model(self):
+        auto = automaton("ANY")
+        assert auto.accepts([])
+        assert auto.accepts(["x", "y", PCDATA_NAME])
+
+    def test_pcdata_loops(self):
+        auto = automaton("(#PCDATA)")
+        assert auto.accepts([])
+        assert auto.accepts([PCDATA_NAME])
+        assert auto.accepts([PCDATA_NAME, PCDATA_NAME])
+
+    def test_mixed_content(self):
+        auto = automaton("(#PCDATA | a)*")
+        assert auto.accepts([PCDATA_NAME, "a", PCDATA_NAME, "a"])
+        assert auto.accepts([])
+
+    def test_nested_plus(self):
+        auto = automaton("((a, b)+, c)")
+        assert auto.accepts(["a", "b", "c"])
+        assert auto.accepts(["a", "b", "a", "b", "c"])
+        assert not auto.accepts(["a", "b", "a", "c"])
+
+
+class TestAndGroups:
+    def test_expansion_accepts_all_orders(self):
+        auto = automaton("(to & from)")
+        assert auto.accepts(["to", "from"])
+        assert auto.accepts(["from", "to"])
+        assert not auto.accepts(["to"])
+        assert not auto.accepts(["to", "from", "to"])
+
+    def test_three_way(self):
+        auto = automaton("(a & b & c)")
+        import itertools
+        for perm in itertools.permutations(["a", "b", "c"]):
+            assert auto.accepts(list(perm))
+        assert not auto.accepts(["a", "b"])
+
+    def test_and_group_with_occurrence_parts(self):
+        auto = automaton("(a? & b)")
+        assert auto.accepts(["b"])
+        assert auto.accepts(["a", "b"])
+        assert auto.accepts(["b", "a"])
+
+    def test_oversized_group_rejected(self):
+        parts = " & ".join("abcdefgh"[i] for i in range(8))
+        with pytest.raises(ContentModelError):
+            automaton(f"({parts})")
+
+    def test_expand_preserves_non_and_models(self):
+        model = parse_content_model("(a, b+)")
+        assert expand_and_groups(model) == model
+
+
+class TestDfaApi:
+    def test_step_and_allowed(self):
+        auto = automaton("(a, b?)")
+        state = auto.step(auto.start_state, "a")
+        assert state is not None
+        assert auto.allowed(auto.start_state) == {"a"}
+        assert auto.allowed(state) == {"b"}
+        assert auto.is_accepting(state)  # b is optional
+        assert auto.step(state, "a") is None
+
+    def test_start_not_accepting_unless_nullable(self):
+        assert not automaton("(a)").is_accepting(0)
+        assert automaton("(a?)").is_accepting(0)
+
+    def test_state_count_reasonable(self):
+        auto = automaton("(title, author+, affil, abstract, section+, acknowl)")
+        assert auto.state_count <= 8
+
+
+class TestAmbiguity:
+    def test_figure1_section_model_is_ambiguous(self):
+        # Both alternatives begin with `title`: a strict SGML parser must
+        # flag this model as 1-ambiguous.
+        model = parse_content_model(
+            "((title, body+) | (title, body*, subsectn+))")
+        witness = ambiguity_witness(model)
+        assert witness is not None
+        assert "title" in witness
+
+    def test_unambiguous_model(self):
+        model = parse_content_model("(a, b?, c*)")
+        assert ambiguity_witness(model) is None
+
+    def test_classic_ambiguity(self):
+        model = parse_content_model("((a, b) | (a, c))")
+        assert ambiguity_witness(model) is not None
+
+    def test_star_follow_ambiguity(self):
+        model = parse_content_model("((a?, a))")
+        assert ambiguity_witness(model) is not None

@@ -1,0 +1,139 @@
+"""Tests for content-model parsing and syntactic properties."""
+
+import pytest
+
+from repro.errors import ContentModelError
+from repro.sgml.contentmodel import (
+    AndGroup,
+    AnyContent,
+    Choice,
+    ElementRef,
+    Empty,
+    Opt,
+    PCData,
+    PCDATA_NAME,
+    Plus,
+    Seq,
+    Star,
+    parse_content_model,
+)
+
+
+class TestParsing:
+    def test_figure1_article_model(self):
+        model = parse_content_model(
+            "(title, author+, affil, abstract, section+, acknowl)")
+        assert isinstance(model, Seq)
+        assert len(model.parts) == 6
+        assert model.parts[0] == ElementRef("title")
+        assert isinstance(model.parts[1], Plus)
+        assert model.parts[1].child == ElementRef("author")
+
+    def test_figure1_section_model(self):
+        model = parse_content_model(
+            "((title, body+) | (title, body*, subsectn+))")
+        assert isinstance(model, Choice)
+        assert len(model.parts) == 2
+        left, right = model.parts
+        assert isinstance(left, Seq) and len(left.parts) == 2
+        assert isinstance(right, Seq) and len(right.parts) == 3
+        assert isinstance(right.parts[1], Star)
+
+    def test_figure1_figure_model(self):
+        model = parse_content_model("(picture, caption?)")
+        assert isinstance(model, Seq)
+        assert isinstance(model.parts[1], Opt)
+
+    def test_pcdata(self):
+        assert parse_content_model("(#PCDATA)") == PCData()
+        assert parse_content_model("(#PCDATA)").allows_pcdata()
+
+    def test_empty_and_any(self):
+        assert parse_content_model("EMPTY") == Empty()
+        assert parse_content_model("ANY") == AnyContent()
+
+    def test_and_group(self):
+        model = parse_content_model("(to & from)")
+        assert isinstance(model, AndGroup)
+        assert [str(p) for p in model.parts] == ["to", "from"]
+
+    def test_single_part_group_unwraps(self):
+        assert parse_content_model("(title)") == ElementRef("title")
+
+    def test_group_occurrence(self):
+        model = parse_content_model("(a, b)+")
+        assert isinstance(model, Plus)
+        assert isinstance(model.child, Seq)
+
+    def test_nested_groups(self):
+        model = parse_content_model("((a | b), (c, d)*)")
+        assert isinstance(model, Seq)
+        assert isinstance(model.parts[0], Choice)
+        assert isinstance(model.parts[1], Star)
+
+    def test_mixed_connectors_rejected(self):
+        with pytest.raises(ContentModelError):
+            parse_content_model("(a, b | c)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ContentModelError):
+            parse_content_model("(a) extra")
+
+    def test_unterminated_group_rejected(self):
+        with pytest.raises(ContentModelError):
+            parse_content_model("(a, b")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ContentModelError):
+            parse_content_model("")
+
+    def test_unknown_reserved_name_rejected(self):
+        with pytest.raises(ContentModelError):
+            parse_content_model("(#CDETA)")
+
+    def test_str_round_trip(self):
+        texts = [
+            "(title, author+, affil)",
+            "((a | b), c?)",
+            "(a & b & c)",
+            "(#PCDATA)",
+            "EMPTY",
+        ]
+        for text in texts:
+            model = parse_content_model(text)
+            assert parse_content_model(str(model)) == model
+
+
+class TestProperties:
+    def test_nullable(self):
+        assert not parse_content_model("(a, b)").nullable()
+        assert parse_content_model("(a?, b*)").nullable()
+        assert parse_content_model("(a | b?)").nullable()
+        assert not parse_content_model("(a | b)").nullable()
+        assert parse_content_model("(a, b)*").nullable()
+        assert not parse_content_model("(a, b)+").nullable()
+        assert parse_content_model("(a?, b?)+").nullable()
+        assert parse_content_model("EMPTY").nullable()
+        assert parse_content_model("(#PCDATA)").nullable()
+
+    def test_first_of_seq_skips_nullable_prefix(self):
+        model = parse_content_model("(a?, b*, c)")
+        assert model.first() == {"a", "b", "c"}
+        model2 = parse_content_model("(a, b)")
+        assert model2.first() == {"a"}
+
+    def test_first_of_choice_unions(self):
+        model = parse_content_model("((title, body+) | (intro, body*))")
+        assert model.first() == {"title", "intro"}
+
+    def test_first_of_and_group(self):
+        model = parse_content_model("(to & from)")
+        assert model.first() == {"to", "from"}
+
+    def test_mentioned(self):
+        model = parse_content_model("((a | b), c?, #PCDATA)")
+        assert model.mentioned() == {"a", "b", "c"}
+        assert model.allows_pcdata()
+
+    def test_first_of_pcdata(self):
+        assert parse_content_model("(#PCDATA)").first() == {PCDATA_NAME}

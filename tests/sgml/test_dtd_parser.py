@@ -1,0 +1,247 @@
+"""Tests for DTD parsing — experiment F1 lives here.
+
+The F1 assertions check that the Figure-1 DTD parses to exactly the
+inventory the paper presents: 13 elements, 4 attribute lists, the fig1
+entity, and the tag-omission flags of each declaration.
+"""
+
+import pytest
+
+from repro.corpus.article_dtd import ARTICLE_DTD, article_dtd
+from repro.errors import DtdSyntaxError
+from repro.sgml.contentmodel import (
+    Choice,
+    ElementRef,
+    Empty,
+    PCData,
+    Seq,
+)
+from repro.sgml.dtd import (
+    ATT_CDATA,
+    ATT_ENTITY,
+    ATT_ID,
+    ATT_IDREF,
+    ATT_NAME_GROUP,
+    ATT_NMTOKEN,
+    DEFAULT_IMPLIED,
+    DEFAULT_REQUIRED,
+)
+from repro.sgml.dtd_parser import parse_dtd
+
+
+class TestFigure1:
+    """Experiment F1: the paper's DTD parses to the right inventory."""
+
+    def test_doctype(self):
+        assert article_dtd().doctype == "article"
+
+    def test_all_thirteen_elements_declared(self):
+        dtd = article_dtd()
+        assert set(dtd.element_names) == {
+            "article", "title", "author", "affil", "abstract", "section",
+            "subsectn", "body", "figure", "picture", "caption", "paragr",
+            "acknowl"}
+
+    def test_article_content_model(self):
+        model = article_dtd().element("article").model
+        assert isinstance(model, Seq)
+        assert [str(p) for p in model.parts] == [
+            "title", "author+", "affil", "abstract", "section+", "acknowl"]
+
+    def test_section_is_a_choice_of_two_shapes(self):
+        model = article_dtd().element("section").model
+        assert isinstance(model, Choice)
+        assert len(model.parts) == 2
+
+    def test_body_is_figure_or_paragr(self):
+        model = article_dtd().element("body").model
+        assert model == Choice([ElementRef("figure"), ElementRef("paragr")])
+
+    def test_picture_is_empty(self):
+        assert article_dtd().element("picture").model == Empty()
+
+    def test_pcdata_elements(self):
+        dtd = article_dtd()
+        for name in ("title", "author", "abstract", "caption", "paragr",
+                     "acknowl"):
+            assert dtd.element(name).model == PCData(), name
+
+    def test_tag_omission_flags(self):
+        dtd = article_dtd()
+        assert not dtd.element("article").omit_start
+        assert not dtd.element("article").omit_end
+        assert not dtd.element("title").omit_start
+        assert dtd.element("title").omit_end
+        assert dtd.element("caption").omit_start  # declared O O
+        assert dtd.element("caption").omit_end
+
+    def test_article_status_attribute(self):
+        status = article_dtd().attlist("article").get("status")
+        assert status.kind == ATT_NAME_GROUP
+        assert status.allowed_values == ("final", "draft")
+        assert status.has_default
+        assert status.default_value == "draft"
+
+    def test_figure_label_is_id(self):
+        label = article_dtd().attlist("figure").get("label")
+        assert label.kind == ATT_ID
+        assert label.default_kind == DEFAULT_IMPLIED
+
+    def test_picture_attributes(self):
+        attlist = article_dtd().attlist("picture")
+        assert attlist.get("sizex").kind == ATT_NMTOKEN
+        assert attlist.get("sizex").default_value == "16cm"
+        assert attlist.get("sizey").default_kind == DEFAULT_IMPLIED
+        assert attlist.get("file").kind == ATT_ENTITY
+
+    def test_paragr_reflabel_is_idref(self):
+        reflabel = article_dtd().attlist("paragr").get("reflabel")
+        assert reflabel.kind == ATT_IDREF
+
+    def test_fig1_entity(self):
+        entity = article_dtd().entity("fig1")
+        assert entity is not None
+        assert entity.is_external
+        assert entity.system_id == "/u/christop/SGML/image1"
+        assert entity.ndata == ""  # Figure 1 omits the notation name
+
+    def test_check_clean(self):
+        assert article_dtd().check() == []
+
+    def test_source_text_has_doctype_wrapper(self):
+        assert ARTICLE_DTD.startswith("<!DOCTYPE article [")
+
+
+class TestDtdParserGeneral:
+    def test_bare_declarations_without_doctype(self):
+        dtd = parse_dtd("<!ELEMENT doc - - (#PCDATA)>")
+        assert dtd.doctype == "doc"
+        assert dtd.has_element("doc")
+
+    def test_comments_skipped(self):
+        dtd = parse_dtd("""
+            <!-- a comment -->
+            <!ELEMENT doc - - (item*)>
+            <!-- another <!ELEMENT fake> -->
+            <!ELEMENT item - O (#PCDATA)>
+        """)
+        assert set(dtd.element_names) == {"doc", "item"}
+
+    def test_multi_element_declaration(self):
+        dtd = parse_dtd("<!ELEMENT (a|b|c) - O (#PCDATA)>")
+        assert set(dtd.element_names) == {"a", "b", "c"}
+        assert dtd.element("b").omit_end
+
+    def test_required_attribute(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc id ID #REQUIRED>
+        """)
+        assert dtd.attlist("doc").get("id").required
+
+    def test_cdata_attribute(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc note CDATA "none">
+        """)
+        note = dtd.attlist("doc").get("note")
+        assert note.kind == ATT_CDATA
+        assert note.default_value == "none"
+
+    def test_fixed_attribute(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc version CDATA #FIXED "1.0">
+        """)
+        version = dtd.attlist("doc").get("version")
+        assert version.has_default
+        assert version.default_value == "1.0"
+
+    def test_attlists_accumulate(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc a CDATA #IMPLIED>
+            <!ATTLIST doc b CDATA #IMPLIED>
+        """)
+        assert len(dtd.attlist("doc")) == 2
+
+    def test_internal_entity(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ENTITY inria "Institut National de Recherche">
+        """)
+        entity = dtd.entity("inria")
+        assert entity.is_internal
+        assert entity.text == "Institut National de Recherche"
+
+    def test_parameter_entity_substitution(self):
+        dtd = parse_dtd("""
+            <!ENTITY % common "title, author">
+            <!ELEMENT doc - - (%common;, body)>
+            <!ELEMENT title - O (#PCDATA)>
+            <!ELEMENT author - O (#PCDATA)>
+            <!ELEMENT body - O (#PCDATA)>
+        """)
+        model = dtd.element("doc").model
+        assert [str(p) for p in model.parts] == ["title", "author", "body"]
+
+    def test_undefined_parameter_entity_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT doc - - (%ghost;)>")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(Exception):
+            parse_dtd("""
+                <!ELEMENT doc - - (#PCDATA)>
+                <!ELEMENT doc - - (#PCDATA)>
+            """)
+
+    def test_first_entity_declaration_wins(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ENTITY e "first">
+            <!ENTITY e "second">
+        """)
+        assert dtd.entity("e").text == "first"
+
+    def test_check_reports_undeclared_reference(self):
+        dtd = parse_dtd("<!ELEMENT doc - - (ghost+)>")
+        problems = dtd.check()
+        assert any("ghost" in p for p in problems)
+
+    def test_check_reports_attlist_on_undeclared_element(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST ghost a CDATA #IMPLIED>
+        """)
+        assert any("ghost" in p for p in dtd.check())
+
+    def test_check_reports_multiple_id_attributes(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc i1 ID #IMPLIED i2 ID #IMPLIED>
+        """)
+        assert any("ID" in p for p in dtd.check())
+
+    def test_bad_declaration_keyword_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!WIDGET doc>")
+
+    def test_unterminated_declaration_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT doc - - (#PCDATA)")
+
+    def test_notation_declarations_tolerated(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!NOTATION gif SYSTEM "gifviewer">
+        """)
+        assert dtd.has_element("doc")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_dtd("<!ELEMENT doc - - (#PCDATA)>\n<!WIDGET x>")
+        except DtdSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected DtdSyntaxError")

@@ -1,0 +1,161 @@
+"""Property-based tests for the SGML substrate.
+
+Hypothesis generates random document trees over a small DTD; the
+invariants are (i) writer→parser round trips, (ii) tag-minimised
+serialisations re-parse to the same structure, (iii) content automata
+agree with a brute-force regex-style acceptance oracle on random child
+sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgml.automata import ContentAutomaton
+from repro.sgml.contentmodel import parse_content_model
+from repro.sgml.dtd_parser import parse_dtd
+from repro.sgml.instance import Element, Text
+from repro.sgml.instance_parser import parse_document
+from repro.sgml.validator import validation_problems
+from repro.sgml.writer import write_document
+
+DTD_TEXT = """
+<!DOCTYPE doc [
+<!ELEMENT doc - - (meta?, item+)>
+<!ELEMENT meta - O (#PCDATA)>
+<!ELEMENT item - O (label, note*)>
+<!ELEMENT label - O (#PCDATA)>
+<!ELEMENT note - O (#PCDATA)>
+<!ATTLIST item kind (plain | fancy) plain>
+]>
+"""
+
+DTD = parse_dtd(DTD_TEXT)
+
+# Text without markup characters or entity ampersands, non-empty after
+# whitespace normalization.
+safe_text = st.text(
+    alphabet="abcdefghij XYZ.,!?0123456789-",
+    min_size=1, max_size=30).filter(lambda s: s.strip())
+
+
+def pcdata(name: str, content: str) -> Element:
+    element = Element(name)
+    # loading normalizes whitespace, so generate normalized content
+    element.append_text(" ".join(content.split()))
+    return element
+
+
+@st.composite
+def documents(draw) -> Element:
+    doc = Element("doc")
+    if draw(st.booleans()):
+        doc.append(pcdata("meta", draw(safe_text)))
+    for _ in range(draw(st.integers(1, 4))):
+        item = Element("item", {
+            "kind": draw(st.sampled_from(["plain", "fancy"]))})
+        item.append(pcdata("label", draw(safe_text)))
+        for _ in range(draw(st.integers(0, 2))):
+            item.append(pcdata("note", draw(safe_text)))
+        doc.append(item)
+    return doc
+
+
+class TestRoundTripProperties:
+    @given(documents())
+    @settings(max_examples=80)
+    def test_write_parse_round_trip(self, tree):
+        text = write_document(tree, DTD)
+        assert parse_document(text, DTD) == tree
+
+    @given(documents())
+    @settings(max_examples=80)
+    def test_minimized_round_trip(self, tree):
+        minimized = write_document(tree, DTD, minimize=True)
+        assert parse_document(minimized, DTD) == tree
+
+    @given(documents())
+    @settings(max_examples=50)
+    def test_generated_documents_validate(self, tree):
+        assert validation_problems(tree, DTD) == []
+
+    @given(documents())
+    @settings(max_examples=50)
+    def test_pretty_printed_round_trip(self, tree):
+        pretty = write_document(tree, DTD, indent=2)
+        assert parse_document(pretty, DTD) == tree
+
+
+# ---------------------------------------------------------------------------
+# Content automata vs an independent oracle
+# ---------------------------------------------------------------------------
+
+MODELS = [
+    "(a, b, c)",
+    "(a?, b+, c*)",
+    "((a | b), c)",
+    "((a, b) | (a, c))",       # ambiguous, but the DFA stays exact
+    "(a & b)",
+    "((a | b)*, c?)",
+    "(a, (b | c)+)",
+]
+
+
+def _oracle(model_text: str, sequence: tuple[str, ...]) -> bool:
+    """Brute-force acceptance by translating to Python's re engine."""
+    import re
+
+    def regex_of(node):
+        from repro.sgml.contentmodel import (
+            AndGroup, AnyContent, Choice, ElementRef, Empty, Opt,
+            PCData, Plus, Seq, Star)
+        import itertools
+        if isinstance(node, ElementRef):
+            return f"(?:{node.name},)"
+        if isinstance(node, Seq):
+            return "".join(regex_of(p) for p in node.parts)
+        if isinstance(node, Choice):
+            return ("(?:" + "|".join(regex_of(p)
+                                     for p in node.parts) + ")")
+        if isinstance(node, AndGroup):
+            alternatives = []
+            for perm in itertools.permutations(node.parts):
+                alternatives.append(
+                    "".join(regex_of(p) for p in perm))
+            return "(?:" + "|".join(alternatives) + ")"
+        if isinstance(node, Opt):
+            return f"(?:{regex_of(node.child)})?"
+        if isinstance(node, Plus):
+            return f"(?:{regex_of(node.child)})+"
+        if isinstance(node, Star):
+            return f"(?:{regex_of(node.child)})*"
+        if isinstance(node, (Empty, AnyContent, PCData)):
+            return ""
+        raise AssertionError(node)
+
+    pattern = re.compile(regex_of(parse_content_model(model_text)) + r"\Z")
+    return pattern.match("".join(f"{s}," for s in sequence)) is not None
+
+
+class TestAutomataAgainstOracle:
+    @given(st.sampled_from(MODELS),
+           st.lists(st.sampled_from(["a", "b", "c"]), max_size=6))
+    @settings(max_examples=300)
+    def test_acceptance_agrees(self, model_text, sequence):
+        automaton = ContentAutomaton(parse_content_model(model_text))
+        assert automaton.accepts(sequence) == _oracle(
+            model_text, tuple(sequence))
+
+    @given(st.sampled_from(MODELS),
+           st.lists(st.sampled_from(["a", "b", "c"]), max_size=6))
+    @settings(max_examples=150)
+    def test_allowed_is_sound(self, model_text, sequence):
+        """allowed(state) lists exactly the symbols with a transition."""
+        automaton = ContentAutomaton(parse_content_model(model_text))
+        state = automaton.start_state
+        for symbol in sequence:
+            next_state = automaton.step(state, symbol)
+            if next_state is None:
+                assert symbol not in automaton.allowed(state)
+                return
+            assert symbol in automaton.allowed(state)
+            state = next_state

@@ -1,0 +1,82 @@
+"""Unit tests for the shared character cursor."""
+
+import pytest
+
+from repro.errors import DtdSyntaxError, SgmlError
+from repro.sgml.tokens import Cursor, is_name
+
+
+class TestNames:
+    def test_valid_names(self):
+        assert is_name("article")
+        assert is_name("a1-b.c_d")
+
+    def test_invalid_names(self):
+        assert not is_name("")
+        assert not is_name("1abc")
+        assert not is_name("a b")
+        assert not is_name("-x")
+
+
+class TestCursor:
+    def test_position_tracking(self):
+        cursor = Cursor("ab\ncd\nef")
+        assert (cursor.line, cursor.column) == (1, 1)
+        cursor.advance(3)
+        assert (cursor.line, cursor.column) == (2, 1)
+        cursor.advance(1)
+        assert (cursor.line, cursor.column) == (2, 2)
+        cursor.advance(2)
+        assert cursor.line == 3
+
+    def test_peek_and_startswith(self):
+        cursor = Cursor("hello world")
+        assert cursor.peek() == "h"
+        assert cursor.peek(5) == "hello"
+        assert cursor.startswith("hello")
+        assert not cursor.startswith("world")
+
+    def test_expect(self):
+        cursor = Cursor("<!ELEMENT")
+        cursor.expect("<!")
+        assert cursor.peek() == "E"
+        with pytest.raises(SgmlError):
+            cursor.expect("xyz")
+
+    def test_expect_error_class(self):
+        cursor = Cursor("nope")
+        with pytest.raises(DtdSyntaxError):
+            cursor.expect("yes", DtdSyntaxError)
+
+    def test_take_while_until_name(self):
+        cursor = Cursor("abc123 rest")
+        assert cursor.take_while(str.isalnum) == "abc123"
+        cursor.skip_whitespace()
+        assert cursor.take_until("st") == "re"
+        assert cursor.peek(2) == "st"
+
+    def test_take_until_missing_raises(self):
+        cursor = Cursor("no terminator here")
+        with pytest.raises(SgmlError):
+            cursor.take_until("@@")
+
+    def test_take_name(self):
+        cursor = Cursor("article>")
+        assert cursor.take_name() == "article"
+        assert cursor.peek() == ">"
+        with pytest.raises(SgmlError):
+            Cursor("123").take_name()
+
+    def test_at_end(self):
+        cursor = Cursor("x")
+        assert not cursor.at_end()
+        cursor.advance()
+        assert cursor.at_end()
+        assert cursor.advance() == ""  # advancing past the end is safe
+
+    def test_error_carries_position(self):
+        cursor = Cursor("line1\nline2")
+        cursor.advance(7)
+        error = cursor.error("problem")
+        assert error.line == 2
+        assert error.column == 2

@@ -1,0 +1,199 @@
+"""Tests for the validator and the writer (round trips)."""
+
+import pytest
+
+from repro.corpus.article_dtd import article_dtd
+from repro.corpus.sample_article import sample_article_tree
+from repro.errors import ValidationError
+from repro.sgml.dtd_parser import parse_dtd
+from repro.sgml.instance import Element, Text
+from repro.sgml.instance_parser import parse_document
+from repro.sgml.validator import validate, validation_problems
+from repro.sgml.writer import escape_text, write_document
+
+
+class TestValidator:
+    def test_figure2_is_valid(self):
+        validate(sample_article_tree(), article_dtd())
+
+    def test_wrong_document_element(self):
+        dtd = parse_dtd("<!DOCTYPE doc [<!ELEMENT doc - - (#PCDATA)>]>")
+        tree = Element("other", children=[Text("x")])
+        problems = validation_problems(tree, dtd)
+        assert any("document element" in p for p in problems)
+
+    def test_undeclared_element(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        tree.append(Element("ghost"))
+        problems = validation_problems(tree, dtd)
+        assert any("ghost" in p for p in problems)
+
+    def test_bad_child_sequence(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        # remove the mandatory acknowl
+        tree.children = [c for c in tree.children
+                         if not (isinstance(c, Element)
+                                 and c.name == "acknowl")]
+        problems = validation_problems(tree, dtd)
+        assert any("content model" in p for p in problems)
+
+    def test_empty_element_with_content(self):
+        dtd = article_dtd()
+        picture = Element("picture", children=[Text("illegal")])
+        problems = validation_problems(picture, dtd)
+        assert any("EMPTY" in p for p in problems)
+
+    def test_pcdata_element_with_child_elements(self):
+        dtd = article_dtd()
+        title = Element("title", children=[Element("author")])
+        problems = validation_problems(title, dtd)
+        assert any("#PCDATA" in p for p in problems)
+
+    def test_undeclared_attribute(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        tree.attributes["bogus"] = "1"
+        problems = validation_problems(tree, dtd)
+        assert any("bogus" in p for p in problems)
+
+    def test_enumerated_value_out_of_range(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        tree.attributes["status"] = "published"
+        problems = validation_problems(tree, dtd)
+        assert any("published" in p for p in problems)
+
+    def test_required_attribute_missing(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc id ID #REQUIRED>
+        """)
+        tree = Element("doc", children=[Text("x")])
+        problems = validation_problems(tree, dtd)
+        assert any("required" in p for p in problems)
+
+    def test_number_attribute(self):
+        dtd = parse_dtd("""
+            <!ELEMENT doc - - (#PCDATA)>
+            <!ATTLIST doc n NUMBER #IMPLIED>
+        """)
+        good = Element("doc", {"n": "42"}, [Text("x")])
+        assert validation_problems(good, dtd) == []
+        bad = Element("doc", {"n": "x42"}, [Text("x")])
+        assert any("NUMBER" in p for p in validation_problems(bad, dtd))
+
+    def test_duplicate_id_detected(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        section = tree.find_all("section")[0]
+        for _ in range(2):
+            body = Element("body")
+            figure = Element("figure", {"label": "fig-1"})
+            figure.append(Element("picture", {"sizex": "16cm"}))
+            body.append(figure)
+            section.append(body)
+        problems = validation_problems(tree, dtd)
+        assert any("duplicate ID" in p for p in problems)
+
+    def test_idref_resolution(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        paragraph = tree.find_all("paragr")[0]
+        paragraph.attributes["reflabel"] = "nowhere"
+        problems = validation_problems(tree, dtd)
+        assert any("IDREF" in p for p in problems)
+
+    def test_idref_resolves_when_target_exists(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        section = tree.find_all("section")[0]
+        body = Element("body")
+        figure = Element("figure", {"label": "fig-1"})
+        figure.append(Element("picture", {"sizex": "16cm"}))
+        body.append(figure)
+        section.append(body)
+        paragraph = tree.find_all("paragr")[0]
+        paragraph.attributes["reflabel"] = "fig-1"
+        assert validation_problems(tree, dtd) == []
+
+    def test_entity_attribute_checked(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        section = tree.find_all("section")[0]
+        body = Element("body")
+        figure = Element("figure")
+        picture = Element("picture", {"sizex": "16cm", "file": "fig1"})
+        figure.append(picture)
+        body.append(figure)
+        section.append(body)
+        assert validation_problems(tree, dtd) == []
+        picture.attributes["file"] = "ghost-entity"
+        assert any("entity" in p for p in validation_problems(tree, dtd))
+
+    def test_validate_raises_on_first_problem(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        tree.attributes["status"] = "published"
+        with pytest.raises(ValidationError):
+            validate(tree, dtd)
+
+
+class TestWriter:
+    def test_escaping(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_figure2_round_trip(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        text = write_document(tree, dtd)
+        reparsed = parse_document(text, dtd)
+        assert reparsed == tree
+
+    def test_minimized_round_trip(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        minimized = write_document(tree, dtd, minimize=True)
+        # minimized output drops omissible end tags...
+        assert "</author>" not in minimized
+        # ...but re-parses to the same structure
+        assert parse_document(minimized, dtd) == tree
+
+    def test_minimized_is_shorter(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        full = write_document(tree, dtd)
+        minimized = write_document(tree, dtd, minimize=True)
+        assert len(minimized) < len(full)
+
+    def test_well_formed_round_trip_without_dtd(self):
+        tree = parse_document("<a><b>x &amp; y</b><c>z</c></a>")
+        text = write_document(tree)
+        assert parse_document(text) == tree
+
+    def test_attributes_written(self):
+        tree = parse_document('<a x="1">t</a>')
+        assert 'x="1"' in write_document(tree)
+
+    def test_attribute_escaping(self):
+        tree = Element("a", {"t": 'say "hi" & bye'}, [Text("x")])
+        text = write_document(tree)
+        assert "&quot;" in text
+        reparsed = parse_document(text)
+        assert reparsed.attributes["t"] == 'say "hi" & bye'
+
+    def test_empty_element_has_no_end_tag(self):
+        dtd = article_dtd()
+        figure = Element("figure")
+        figure.append(Element("picture", {"sizex": "16cm"}))
+        text = write_document(figure, dtd)
+        assert "</picture>" not in text
+        assert "<picture" in text
+
+    def test_indented_output_round_trips(self):
+        dtd = article_dtd()
+        tree = sample_article_tree()
+        pretty = write_document(tree, dtd, indent=2)
+        assert "\n" in pretty
+        assert parse_document(pretty, dtd) == tree

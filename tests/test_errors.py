@@ -1,0 +1,75 @@
+"""Tests for the exception hierarchy and error positioning."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_single_base_class(self):
+        for name in dir(errors):
+            cls = getattr(errors, name)
+            if isinstance(cls, type) and issubclass(cls, Exception) \
+                    and cls is not errors.ReproError:
+                assert issubclass(cls, errors.ReproError), name
+
+    def test_sgml_family(self):
+        for cls in (errors.DtdSyntaxError, errors.DocumentSyntaxError,
+                    errors.ValidationError, errors.EntityError,
+                    errors.ContentModelError):
+            assert issubclass(cls, errors.SgmlError)
+
+    def test_model_family(self):
+        for cls in (errors.SchemaError, errors.InstanceError,
+                    errors.ConstraintViolation, errors.StoreError,
+                    errors.MappingError, errors.SubtypingError):
+            assert issubclass(cls, errors.ModelError)
+
+    def test_query_family(self):
+        for cls in (errors.QuerySyntaxError, errors.QueryTypeError,
+                    errors.SafetyError, errors.EvaluationError,
+                    errors.PatternError, errors.CompilationError,
+                    errors.WrongBranchAccess):
+            assert issubclass(cls, errors.QueryError)
+
+    def test_wrong_branch_is_not_evaluation_error(self):
+        # the Section-4.2 distinction depends on this
+        assert not issubclass(errors.WrongBranchAccess,
+                              errors.EvaluationError)
+
+
+class TestPositioning:
+    def test_sgml_error_formats_position(self):
+        exc = errors.SgmlError("bad thing", line=3, column=7)
+        assert "line 3" in str(exc)
+        assert "column 7" in str(exc)
+        assert exc.line == 3 and exc.column == 7
+
+    def test_line_only(self):
+        exc = errors.SgmlError("bad thing", line=3)
+        assert "line 3" in str(exc)
+        assert "column" not in str(exc)
+
+    def test_no_position(self):
+        exc = errors.SgmlError("bad thing")
+        assert str(exc) == "bad thing"
+
+    def test_query_syntax_error_position(self):
+        exc = errors.QuerySyntaxError("oops", line=2, column=5)
+        assert "line 2" in str(exc)
+
+    def test_constraint_violation_names_class(self):
+        exc = errors.ConstraintViolation("x != nil",
+                                         class_name="Article")
+        assert str(exc).startswith("[Article]")
+        assert exc.class_name == "Article"
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_everything(self):
+        from repro.sgml.dtd_parser import parse_dtd
+        with pytest.raises(errors.ReproError):
+            parse_dtd("<!WIDGET>")
+        from repro.text.patterns import parse_pattern_expr
+        with pytest.raises(errors.ReproError):
+            parse_pattern_expr('"unterminated')

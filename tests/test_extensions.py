@@ -1,0 +1,128 @@
+"""Tests for the extension features: method dispatch in queries, CDATA
+marked sections, and session persistence."""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.errors import EvaluationError
+
+
+@pytest.fixture()
+def store():
+    s = DocumentStore(ARTICLE_DTD)
+    s.load_text(SAMPLE_ARTICLE, name="my_article")
+    return s
+
+
+class TestMethodDispatchInQueries:
+    def test_method_callable_from_o2sql(self, store):
+        # define a display method on Text (Figure 3's "default
+        # behavior") and call it from a query
+        store.instance.define_method(
+            "display", "Text",
+            lambda inst, this: f"<{inst.deref(this).get('text')}>")
+        result = store.query(
+            "select display(t) from my_article PATH_p.title(t)")
+        assert "<Introduction>" in set(result)
+
+    def test_method_with_arguments(self, store):
+        store.instance.define_method(
+            "prefix", "Text",
+            lambda inst, this, n: inst.deref(this).get("text")[:n])
+        result = store.query(
+            "select prefix(t, 5) from my_article PATH_p.title(t)")
+        assert "Intro" in set(result)
+
+    def test_registry_functions_win_over_methods(self, store):
+        # `text` is a registry function; defining a method of the same
+        # name must not shadow it
+        store.instance.define_method(
+            "text", "Text", lambda inst, this: "method!")
+        article = store.instance.root("my_article")
+        assert "method!" not in store.text(article)
+
+    def test_unknown_function_on_non_object_still_fails(self, store):
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            store.query("select ghostfn(1) from a in Articles")
+
+
+class TestCdata:
+    def test_cdata_preserves_markup_characters(self):
+        from repro.sgml.instance_parser import parse_document
+        tree = parse_document(
+            "<a><![CDATA[literal <tags> & &amp; stay raw]]></a>")
+        assert tree.text_content() == "literal <tags> & &amp; stay raw"
+
+    def test_cdata_merges_with_surrounding_text(self):
+        # element-content whitespace normalization collapses the
+        # boundary spaces (same as around child elements)
+        from repro.sgml.instance_parser import parse_document
+        tree = parse_document("<a>before <![CDATA[<x>]]> after</a>")
+        assert tree.text_content() == "before<x>after"
+        # keep_whitespace preserves them exactly
+        verbatim = parse_document("<a>before <![CDATA[<x>]]> after</a>",
+                                  keep_whitespace=True)
+        assert verbatim.text_content() == "before <x> after"
+
+    def test_cdata_in_validated_document(self, store):
+        text = SAMPLE_ARTICLE.replace(
+            "<acknowl> We are grateful",
+            "<acknowl> <![CDATA[thanks to <everyone>]]> We are grateful")
+        oid = store.loader.instance  # keep flake quiet
+        s = DocumentStore(ARTICLE_DTD)
+        s.load_text(text, name="doc")
+        acknowl = s.query("select x from doc PATH_p.acknowl(x)")
+        assert "<everyone>" in s.text(list(acknowl)[0])
+
+    def test_unterminated_cdata_rejected(self):
+        from repro.errors import DocumentSyntaxError
+        from repro.sgml.instance_parser import parse_document
+        with pytest.raises(DocumentSyntaxError):
+            parse_document("<a><![CDATA[never closed</a>")
+
+    def test_cdata_outside_root_rejected(self):
+        from repro.errors import DocumentSyntaxError
+        from repro.sgml.instance_parser import parse_document
+        with pytest.raises(DocumentSyntaxError):
+            parse_document("<![CDATA[x]]><a>y</a>")
+
+
+class TestSessionPersistence:
+    def test_save_and_load_round_trip(self, store, tmp_path):
+        path = tmp_path / "session.db"
+        written = store.save(path)
+        assert written > 0
+        assert (tmp_path / "session.db.dtd").exists()
+
+        reloaded = DocumentStore.load(path)
+        assert reloaded.instance.object_count() == \
+            store.instance.object_count()
+        # the named root survives, and queries work
+        result = reloaded.query(
+            "select t from my_article PATH_p.title(t)")
+        assert len(result) == 3
+        texts = {reloaded.text(t) for t in result}
+        assert "Introduction" in texts
+
+    def test_reloaded_store_accepts_new_documents(self, store, tmp_path):
+        path = tmp_path / "session.db"
+        store.save(path)
+        reloaded = DocumentStore.load(path)
+        reloaded.load_text(SAMPLE_ARTICLE)
+        root = reloaded.instance.root(reloaded.mapped.root_name)
+        assert len(root) == 2
+
+    def test_updates_survive_persistence(self, store, tmp_path):
+        article = store.instance.root("my_article")
+        title = store.instance.deref(article).get("title")
+        store.update_text(title, "Persisted Title")
+        path = tmp_path / "session.db"
+        store.save(path)
+        reloaded = DocumentStore.load(path)
+        result = reloaded.query("""
+            select t from my_article PATH_p.title(t)
+            where t contains ("Persisted")
+        """)
+        assert len(result) == 1

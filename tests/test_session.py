@@ -1,0 +1,94 @@
+"""Tests for the DocumentStore facade (the end-to-end user surface)."""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.errors import MappingError
+from repro.oodb import Oid, SetValue
+
+
+@pytest.fixture()
+def store():
+    s = DocumentStore(ARTICLE_DTD)
+    s.load_text(SAMPLE_ARTICLE, name="my_article")
+    return s
+
+
+class TestLoading:
+    def test_load_returns_document_oid(self, store):
+        assert isinstance(store.instance.root("my_article"), Oid)
+
+    def test_stats(self, store):
+        stats = store.stats()
+        assert stats["documents"] == 1
+        assert stats["objects"] == 17
+        assert stats["classes"] == 15
+        assert stats["bytes"] > 0
+
+    def test_invalid_document_rejected(self, store):
+        from repro.errors import DocumentSyntaxError
+        with pytest.raises(DocumentSyntaxError):
+            # missing mandatory acknowl: the validating parser itself
+            # refuses to close <article> with incomplete content
+            store.load_text("<article><title>t<author>a<affil>f"
+                            "<abstract>x<section><title>s"
+                            "<body><paragr>p</body></section>"
+                            "</article>")
+
+    def test_programmatic_invalid_tree_rejected(self, store):
+        # a tree built by hand (bypassing the parser) is caught by the
+        # validation pass in load_tree
+        from repro.sgml.instance import Element, Text
+        bogus = Element("article", {"status": "final"})
+        bogus.append(Element("title", children=[Text("t")]))
+        with pytest.raises(MappingError):
+            store.load_tree(bogus)
+
+    def test_bad_dtd_rejected(self):
+        with pytest.raises(MappingError):
+            DocumentStore("<!ELEMENT doc - - (ghost)>")
+
+    def test_check_passes_on_figure2(self, store):
+        store.check()
+
+    def test_define_name_for_values(self, store):
+        store.define_name("answer", 42)
+        assert store.query("select x from answer PATH_p(x)") == \
+            SetValue([42])
+
+
+class TestQuerying:
+    def test_query_returns_set(self, store):
+        result = store.query("select a from a in Articles")
+        assert isinstance(result, SetValue)
+        assert len(result) == 1
+
+    def test_text_operator(self, store):
+        article = store.instance.root("my_article")
+        assert "SGML" in store.text(article)
+
+    def test_describe_schema(self, store):
+        rendered = store.describe_schema()
+        assert "class Article" in rendered
+        assert "name Articles: list (Article)" in rendered
+
+    def test_explain(self, store):
+        assert "∃" in store.explain(
+            "select t from my_article PATH_p.title(t)")
+
+    def test_check_query_types(self, store):
+        types = store.check_query("select a from a in Articles")
+        assert {str(v): str(t) for v, t in types.items()}["a"] == \
+            "Article"
+
+    def test_build_text_index(self, store):
+        index = store.build_text_index()
+        assert index.document_count > 0
+        assert store.text_index is index
+
+    def test_liberal_semantics_store(self):
+        s = DocumentStore(ARTICLE_DTD, path_semantics="liberal")
+        s.load_text(SAMPLE_ARTICLE, name="my_article")
+        result = s.query("select t from my_article PATH_p.title(t)")
+        assert len(result) == 3

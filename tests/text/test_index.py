@@ -1,0 +1,91 @@
+"""Tests for the positional inverted index."""
+
+from repro.text import TextIndex, parse_pattern_expr
+from repro.text.patterns import Pattern
+
+
+def build_index() -> TextIndex:
+    index = TextIndex()
+    index.add("d1", "the SGML standard for structured documents")
+    index.add("d2", "OODBMS support for complex object storage")
+    index.add("d3", "SGML meets OODBMS: complex documents")
+    index.add("d4", "an unrelated note about titles and Titles")
+    return index
+
+
+class TestBasicProbes:
+    def test_word_probe(self):
+        index = build_index()
+        assert index.keys_with_word("SGML") == {"d1", "d3"}
+        assert index.keys_with_word("OODBMS") == {"d2", "d3"}
+        assert index.keys_with_word("ghost") == set()
+
+    def test_pattern_probe_scans_vocabulary(self):
+        index = build_index()
+        assert index.keys_matching("(t|T)itles") == {"d4"}
+
+    def test_phrase_probe(self):
+        index = build_index()
+        assert index.keys_for_pattern(Pattern("complex object")) == {"d2"}
+        assert index.keys_for_pattern(Pattern("complex documents")) == {"d3"}
+        # words present but not adjacent:
+        assert index.keys_for_pattern(Pattern("SGML OODBMS")) == set()
+
+    def test_stats(self):
+        index = build_index()
+        assert index.document_count == 4
+        assert index.vocabulary_size > 10
+
+    def test_incremental_add_same_key(self):
+        index = TextIndex()
+        index.add("d", "first part")
+        index.add("d", "second part")
+        assert index.keys_with_word("first") == {"d"}
+        assert index.keys_with_word("second") == {"d"}
+        # incremental adds concatenate the token stream, so a phrase may
+        # span the boundary — documented behaviour
+        assert index.keys_for_pattern(Pattern("part second")) == {"d"}
+
+
+class TestCandidates:
+    def test_and_intersects(self):
+        index = build_index()
+        expr = parse_pattern_expr('"SGML" and "OODBMS"')
+        assert index.candidates(expr) == {"d3"}
+
+    def test_or_unions(self):
+        index = build_index()
+        expr = parse_pattern_expr('"SGML" or "OODBMS"')
+        assert index.candidates(expr) == {"d1", "d2", "d3"}
+
+    def test_not_gives_none(self):
+        index = build_index()
+        assert index.candidates(parse_pattern_expr('not "SGML"')) is None
+
+    def test_and_with_not_keeps_positive_side(self):
+        index = build_index()
+        expr = parse_pattern_expr('"SGML" and not "OODBMS"')
+        assert index.candidates(expr) == {"d1", "d3"}  # superset is fine
+
+    def test_or_with_not_gives_none(self):
+        index = build_index()
+        expr = parse_pattern_expr('"SGML" or not "OODBMS"')
+        assert index.candidates(expr) is None
+
+    def test_candidates_agree_with_contains(self):
+        from repro.text import contains
+        index = build_index()
+        documents = {
+            "d1": "the SGML standard for structured documents",
+            "d2": "OODBMS support for complex object storage",
+            "d3": "SGML meets OODBMS: complex documents",
+            "d4": "an unrelated note about titles and Titles",
+        }
+        for source in ['"SGML" and "OODBMS"', '"SGML" or "OODBMS"',
+                       '"complex object"', '"(t|T)itles"']:
+            expr = parse_pattern_expr(source)
+            truth = {key for key, text in documents.items()
+                     if contains(text, expr)}
+            candidate_set = index.candidates(expr)
+            assert candidate_set is not None
+            assert truth <= candidate_set, source

@@ -1,0 +1,85 @@
+"""Property-based tests: the inverted index vs the contains oracle.
+
+For random document sets and random pattern expressions, the index's
+candidate set must be a superset of the true answer (and exact for
+purely positive expressions).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import TextIndex, contains
+from repro.text.patterns import (
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    Pattern,
+)
+
+WORDS = ["sgml", "oodb", "path", "query", "union", "tuple", "schema"]
+
+documents = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=12).map(
+        " ".join),
+    min_size=1, max_size=8)
+
+
+def patterns(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Pattern(draw(st.sampled_from(WORDS)))
+    if kind == 1:
+        return Pattern(" ".join(draw(st.lists(
+            st.sampled_from(WORDS), min_size=2, max_size=3))))
+    left = patterns(draw)
+    right = patterns(draw)
+    if kind == 2:
+        return AndExpr(left, right)
+    return OrExpr(left, right)
+
+
+positive_expressions = st.composite(patterns)()
+
+expressions = st.one_of(
+    positive_expressions,
+    st.builds(NotExpr, positive_expressions),
+    st.builds(AndExpr, positive_expressions,
+              st.builds(NotExpr, positive_expressions)),
+)
+
+
+def build(texts):
+    index = TextIndex()
+    for key, text in enumerate(texts):
+        index.add(key, text)
+    return index
+
+
+class TestIndexSoundness:
+    @given(documents, positive_expressions)
+    @settings(max_examples=200)
+    def test_positive_candidates_are_exact(self, texts, expression):
+        index = build(texts)
+        truth = {key for key, text in enumerate(texts)
+                 if contains(text, expression)}
+        candidates = index.candidates(expression)
+        assert candidates is not None
+        assert candidates == truth
+
+    @given(documents, expressions)
+    @settings(max_examples=200)
+    def test_candidates_never_lose_answers(self, texts, expression):
+        index = build(texts)
+        truth = {key for key, text in enumerate(texts)
+                 if contains(text, expression)}
+        candidates = index.candidates(expression)
+        if candidates is not None:
+            assert truth <= candidates
+
+    @given(documents, st.sampled_from(WORDS))
+    @settings(max_examples=100)
+    def test_word_probe_matches_scan(self, texts, word):
+        index = build(texts)
+        truth = {key for key, text in enumerate(texts)
+                 if word in text.split()}
+        assert index.keys_with_word(word) == truth

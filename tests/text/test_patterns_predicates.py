@@ -1,0 +1,166 @@
+"""Tests for pattern expressions and the contains/near predicates."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.text import (
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    Pattern,
+    contains,
+    near,
+    parse_pattern_expr,
+)
+from repro.text.patterns import tokenize_words
+
+
+class TestTokenizer:
+    def test_punctuation_stripped(self):
+        assert tokenize_words("Hello, world! (really)") == [
+            "Hello", "world", "really"]
+
+    def test_hyphen_kept(self):
+        assert tokenize_words("object-oriented databases") == [
+            "object-oriented", "databases"]
+
+    def test_empty(self):
+        assert tokenize_words("  ... !! ") == []
+
+
+class TestPattern:
+    def test_word_boundary_matching(self):
+        pattern = Pattern("SGML")
+        assert pattern.holds(["the", "SGML", "standard"])
+        assert not pattern.holds(["the", "SGMLish", "standard"])
+
+    def test_regex_word(self):
+        pattern = Pattern("(t|T)itle")
+        assert pattern.holds(["the", "Title"])
+        assert pattern.holds(["a", "title"])
+        assert not pattern.holds(["subtitle"])
+
+    def test_phrase(self):
+        pattern = Pattern("complex object")
+        assert pattern.holds(["a", "complex", "object", "here"])
+        assert not pattern.holds(["complex", "red", "object"])
+        assert not pattern.holds(["object", "complex"])
+
+    def test_phrase_at_edges(self):
+        pattern = Pattern("complex object")
+        assert pattern.holds(["complex", "object"])
+        assert not pattern.holds(["complex"])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("")
+
+    def test_match_word_on_phrase_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("two words").match_word("two")
+
+
+class TestExpressionParsing:
+    def test_q1_expression(self):
+        expr = parse_pattern_expr('"SGML" and "OODBMS"')
+        assert isinstance(expr, AndExpr)
+        assert expr.patterns()[0].source == "SGML"
+        assert expr.patterns()[1].source == "OODBMS"
+
+    def test_or_and_precedence(self):
+        expr = parse_pattern_expr('"a" or "b" and "c"')
+        # and binds tighter than or
+        assert isinstance(expr, OrExpr)
+        assert isinstance(expr.right, AndExpr)
+
+    def test_not(self):
+        expr = parse_pattern_expr('not "draft"')
+        assert isinstance(expr, NotExpr)
+
+    def test_parentheses(self):
+        expr = parse_pattern_expr('("a" or "b") and "c"')
+        assert isinstance(expr, AndExpr)
+        assert isinstance(expr.left, OrExpr)
+
+    def test_single_quotes(self):
+        expr = parse_pattern_expr("'final'")
+        assert isinstance(expr, Pattern)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern_expr('"a" junk')
+
+    def test_unterminated_literal_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern_expr('"unterminated')
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern_expr('("a" and "b"')
+
+
+class TestContains:
+    def test_q1_semantics(self):
+        title = "SGML and OODBMS integration"
+        assert contains(title, '"SGML" and "OODBMS"')
+        assert not contains("SGML only here", '"SGML" and "OODBMS"')
+
+    def test_plain_string_pattern(self):
+        assert contains("the final version", "final")
+        assert not contains("the draft version", "final")
+
+    def test_word_not_substring(self):
+        # IRS-style word matching: "final" is not inside "finality"
+        assert not contains("finality of it all", "final")
+
+    def test_phrase_q2(self):
+        text = "storage of complex object structures"
+        assert contains(text, "complex object")
+        assert not contains("object is complex", "complex object")
+
+    def test_regex_pattern(self):
+        assert contains("The Title here", "(t|T)itle")
+
+    def test_boolean_or_not(self):
+        assert contains("it is final", '"final" or "draft"')
+        assert contains("it is done", 'not "draft"')
+        assert not contains("a draft", 'not "draft"')
+
+    def test_non_string_value_is_false(self):
+        # Section 5.3: atoms over wrong-branch values are false.
+        assert not contains(42, "final")
+        assert not contains(None, "final")
+
+    def test_pattern_expr_object_accepted(self):
+        expr = parse_pattern_expr('"a" and "b"')
+        assert contains("a b", expr)
+
+    def test_bad_pattern_type_rejected(self):
+        with pytest.raises(PatternError):
+            contains("text", 42)
+
+
+class TestNear:
+    def test_within_distance(self):
+        text = "the SGML standard is near the OODB world"
+        assert near(text, "SGML", "standard", 1)
+        assert near(text, "SGML", "OODB", 5)
+        assert not near(text, "SGML", "world", 2)
+
+    def test_symmetric(self):
+        text = "alpha beta gamma"
+        assert near(text, "gamma", "alpha", 2)
+        assert not near(text, "gamma", "alpha", 1)
+
+    def test_missing_word(self):
+        assert not near("nothing here", "SGML", "OODB", 10)
+
+    def test_pattern_words(self):
+        assert near("The Title of chapters", "(t|T)itle", "chapters", 2)
+
+    def test_phrase_rejected(self):
+        with pytest.raises(PatternError):
+            near("x", "two words", "y", 1)
+
+    def test_non_string_false(self):
+        assert not near(3.14, "a", "b", 1)
