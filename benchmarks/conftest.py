@@ -17,6 +17,21 @@ from repro.sgml.writer import write_document
 CORPUS_SIZES = (5, 20, 60)
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so
+    ``pytest -m "not bench"`` gives a fast inner loop while the default
+    invocation still runs the whole harness.
+
+    The hook sees the whole session's items (it runs in every conftest),
+    so mark only the ones collected from this directory.
+    """
+    import os
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here + os.sep):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def figure2_store():
     store = DocumentStore(ARTICLE_DTD)

@@ -47,9 +47,22 @@ from repro.paths.steps import (
 
 
 class Operator:
-    """Base class of plan operators."""
+    """Base class of plan operators.
+
+    ``rows`` is the public entry point: when a
+    :class:`~repro.observe.profile.PlanProfiler` is installed on the
+    context it meters the stream (actual row counts, elapsed time per
+    node — the EXPLAIN ANALYZE numbers); otherwise the subclass stream
+    is returned untouched.  Subclasses implement :meth:`_rows`.
+    """
 
     def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        profiler = ctx.profiler
+        if profiler is None:
+            return self._rows(ctx)
+        return profiler.wrap(self, self._rows(ctx))
+
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         raise NotImplementedError
 
     def describe(self, indent: int = 0) -> str:
@@ -69,7 +82,7 @@ def _pad(indent: int) -> str:
 class SeedOp(Operator):
     """One empty binding — the start of every plan."""
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         yield {}
 
     def describe(self, indent: int = 0) -> str:
@@ -85,7 +98,7 @@ class BindOp(Operator):
         self.variable = variable
         self.term = term
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             try:
                 value = eval_term(self.term, row, ctx)
@@ -152,7 +165,7 @@ class UnnestOp(Operator):
             return collection
         return None
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             try:
                 collection = eval_term(self.collection_term, row, ctx)
@@ -201,7 +214,7 @@ class StepOp(Operator):
         self.argument = argument
         self.out_var = out_var
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             source = row.get(self.source_var)
             if source is None and self.source_var not in row:
@@ -262,7 +275,7 @@ class MakePathOp(Operator):
         self.template = template
         self.out_var = out_var
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             steps = []
             valid = True
@@ -314,7 +327,7 @@ class SelectOp(Operator):
         self.child = child
         self.atom = atom
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             for _ in satisfy(self.atom, row, ctx):
                 yield row
@@ -335,7 +348,7 @@ class NegationOp(Operator):
         self.child = child
         self.formula = formula
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             if not any(True for _ in satisfy(self.formula, row, ctx)):
                 yield row
@@ -357,7 +370,7 @@ class FormulaOp(Operator):
         self.child = child
         self.formula = formula
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             yield from satisfy(self.formula, row, ctx)
 
@@ -377,7 +390,10 @@ class UnionOp(Operator):
             raise CompilationError("union of zero plans")
         self.branches = branches
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        if ctx.metrics is not None:
+            # the (⋆)-elimination fan-out of Section 5.4, per execution
+            ctx.metrics.inc("algebra.union_fanout", len(self.branches))
         for branch in self.branches:
             yield from branch.rows(ctx)
 
@@ -404,11 +420,14 @@ class IndexFilterOp(Operator):
         self.recheck_atom = recheck_atom
         self._candidates = None
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        metrics = ctx.metrics
         index = getattr(ctx, "text_index", None)
         if index is None:
             # no index available: behave like a plain select
             for row in self.child.rows(ctx):
+                if metrics is not None:
+                    metrics.inc("algebra.contains_rechecks")
                 for _ in satisfy(self.recheck_atom, row, ctx):
                     yield row
                     break
@@ -420,7 +439,11 @@ class IndexFilterOp(Operator):
             value = row.get(self.variable)
             if candidates is not None and isinstance(value, Oid):
                 if value not in candidates:
+                    if metrics is not None:
+                        metrics.inc("algebra.index_pruned")
                     continue
+            if metrics is not None:
+                metrics.inc("algebra.contains_rechecks")
             for _ in satisfy(self.recheck_atom, row, ctx):
                 yield row
                 break
@@ -441,7 +464,7 @@ class ProjectOp(Operator):
         self.child = child
         self.head = list(head)
 
-    def rows(self, ctx: EvalContext) -> Iterator[Binding]:
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         seen: set = set()
         for row in self.child.rows(ctx):
             projected = {variable: row[variable] for variable in self.head

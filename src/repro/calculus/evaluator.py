@@ -95,6 +95,11 @@ class EvalContext:
         self.max_paths = max_paths
         #: Optional full-text index used by the algebra optimizer.
         self.text_index = None
+        #: Observability hooks (repro.observe) — ``None`` means disabled;
+        #: every instrumentation site guards with one ``is not None`` test.
+        self.metrics = None
+        self.tracer = None
+        self.profiler = None
 
     def root_value(self, name: str) -> object:
         return self.instance.root(name)
@@ -122,7 +127,10 @@ def evaluate_query(query: Query, ctx: EvalContext) -> SetValue:
                 return cached[1]
         results: list = []
         seen: set = set()
+        metrics = ctx.metrics
         for binding in satisfy(query.formula, {}, ctx):
+            if metrics is not None:
+                metrics.inc("calculus.bindings")
             row = _project(query, binding)
             if row not in seen:
                 seen.add(row)
@@ -286,9 +294,12 @@ def _match_path(current, components, binding: Binding, ctx: EvalContext,
                 return
             yield from _match_path(reached, rest, binding, ctx, derefed)
             return
+        metrics = ctx.metrics
         for concrete, reached in paths_from(
                 current, ctx.instance, ctx.path_semantics,
                 ctx.max_paths):
+            if metrics is not None:
+                metrics.inc("calculus.paths_enumerated")
             extended = dict(binding)
             extended[head] = concrete
             yield from _match_path(reached, rest, extended, ctx, derefed)
@@ -569,6 +580,8 @@ def _can_bind_quantified(body: Formula, binding: Binding,
 
 def _satisfy_atom(atom: Atom, binding: Binding,
                   ctx: EvalContext) -> Iterator[Binding]:
+    if ctx.metrics is not None:
+        ctx.metrics.inc("calculus.atoms")
     if isinstance(atom, PathAtom):
         root = eval_term(atom.root, binding, ctx)
         seen: set = set()

@@ -3,7 +3,14 @@
 ``QueryEngine`` wires the pipeline together: parse → translate to the
 calculus → static safety check → (optional) type inference against the
 schema → evaluation, either with the calculus interpreter or with a
-compiled algebra plan (Section 5.4).
+compiled (and, by default, optimized) algebra plan (Section 5.4).
+
+Every stage is traced: when a :class:`~repro.observe.trace.Tracer` is
+installed on the evaluation context (or handed to :meth:`profile`), the
+engine records one span per stage with deterministic annotations (plan
+size, union fan-out, result cardinality).  With no tracer installed the
+stages run undecorated through a shared no-op tracer — the instrumented
+path costs one context-manager entry per *stage*, never per row.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from repro.calculus.inference import infer_types
 from repro.calculus.safety import check_safety
 from repro.o2sql.parser import parse
 from repro.o2sql.translate import to_calculus
+from repro.observe.trace import NULL_TRACER
 from repro.oodb.instance import Instance
 from repro.oodb.values import SetValue
 
@@ -23,17 +31,23 @@ class QueryEngine:
     ``provenance`` (the loader's oid → source element map) enables the
     exact ``text()`` inverse mapping for ``contains`` over logical
     objects; without it the structural fallback is used.
+
+    ``optimize`` controls the Section 4.1/6 plan rewrites (full-text
+    index utilisation, selection pushdown) on the algebra backend; the
+    rewrites are semantics-preserving, so it defaults to on.
     """
 
     def __init__(self, instance: Instance, provenance: dict | None = None,
                  path_semantics: str = "restricted",
                  type_check: bool = True,
-                 backend: str = "calculus") -> None:
+                 backend: str = "calculus",
+                 optimize: bool = True) -> None:
         self.instance = instance
         self.ctx = EvalContext(instance, provenance=provenance,
                                path_semantics=path_semantics)
         self.type_check = type_check
         self.backend = backend
+        self.optimize = optimize
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -53,16 +67,76 @@ class QueryEngine:
 
     def run(self, text: str) -> SetValue:
         """The full pipeline; the result is always a set."""
-        query = self.translate(text)
-        check_safety(query)
-        if self.type_check:
-            infer_types(query, self.instance.schema)
-        if self.backend == "algebra":
-            from repro.algebra.compile import compile_query
-            from repro.algebra.execute import execute_plan
-            plan = compile_query(query, self.instance.schema, self.ctx)
-            return execute_plan(plan, self.ctx)
-        return evaluate_query(query, self.ctx)
+        result, _ = self._run(text, self.ctx.tracer or NULL_TRACER)
+        return result
+
+    def _run(self, text: str, tracer):
+        """Run all stages under spans; returns ``(result, plan-or-None)``."""
+        with tracer.span("query", backend=self.backend) as root:
+            with tracer.span("parse"):
+                node = parse(text)
+            with tracer.span("translate"):
+                query = to_calculus(node, self.instance.schema.roots.keys())
+            with tracer.span("safety"):
+                check_safety(query)
+            if self.type_check:
+                with tracer.span("inference"):
+                    infer_types(query, self.instance.schema)
+            if self.backend == "algebra":
+                from repro.algebra.compile import compile_query
+                from repro.algebra.execute import (
+                    count_unions,
+                    execute_plan,
+                    plan_size,
+                )
+                with tracer.span("compile") as span:
+                    plan = compile_query(query, self.instance.schema,
+                                         self.ctx)
+                    if self.optimize:
+                        from repro.algebra.optimizer import optimize
+                        plan = optimize(plan)
+                    span.annotate("operators", plan_size(plan))
+                    span.annotate("unions", count_unions(plan))
+                with tracer.span("execute"):
+                    result = execute_plan(plan, self.ctx)
+                root.annotate("rows", len(result))
+                return result, plan
+            with tracer.span("evaluate"):
+                result = evaluate_query(query, self.ctx)
+            root.annotate("rows", len(result))
+            return result, None
+
+    # -- observability --------------------------------------------------------
+
+    def profile(self, text: str):
+        """Run ``text`` fully observed; returns an
+        :class:`~repro.observe.report.ExplainReport` with the result, the
+        executed plan annotated with actual per-operator row counts
+        (algebra backend), the stage span tree and a metrics snapshot.
+
+        Observation is scoped to this one query: fresh registry, tracer
+        and profiler are installed for the duration and the previous
+        observers (if any) are restored afterwards.
+        """
+        from repro.observe import (
+            ExplainReport,
+            MetricsRegistry,
+            PlanProfiler,
+            Tracer,
+            observed,
+        )
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        profiler = PlanProfiler() if self.backend == "algebra" else None
+        with observed(self.ctx, metrics=metrics, tracer=tracer,
+                      profiler=profiler):
+            result, plan = self._run(text, tracer)
+        return ExplainReport(text=text, backend=self.backend,
+                             result=result, plan=plan, profiler=profiler,
+                             metrics=metrics.snapshot(),
+                             trace=tracer.last_root)
+
+    explain_analyze = profile
 
     def explain(self, text: str) -> str:
         """The calculus form of the query (one line)."""

@@ -1,0 +1,50 @@
+"""Query-pipeline observability (tracing, metrics, EXPLAIN ANALYZE).
+
+The paper's Section-5.4 performance story — path/attribute variables
+compile into unions of variable-free plans whose cost is dominated by
+operator fan-out — is made *observable* here, deterministically, without
+wall clocks:
+
+* :mod:`repro.observe.trace` — a span tree with a context-manager API,
+  recording the pipeline stages (parse → translate → safety → inference
+  → compile → execute);
+* :mod:`repro.observe.metrics` — a counter/histogram registry with
+  ``snapshot()``/``reset()``; every hot layer (object store, text index,
+  calculus evaluator, algebra operators) increments named counters when
+  a registry is installed, and does nothing otherwise;
+* :mod:`repro.observe.profile` — per-operator row/elapsed statistics for
+  algebra plans, plus the :func:`observed` context manager that installs
+  (and cleanly removes) observers on an evaluation context;
+* :mod:`repro.observe.report` — rendering: the annotated plan tree of
+  ``EXPLAIN ANALYZE`` and structured snapshots.
+
+The default state everywhere is *no observer installed* (``None``
+attributes checked with one ``is not None`` test per event), so the
+instrumented code paths cost nothing measurable when disabled.
+"""
+
+from repro.observe.metrics import Counter, Histogram, MetricsRegistry
+from repro.observe.profile import OperatorStats, PlanProfiler, observed
+from repro.observe.report import (
+    ExplainReport,
+    plan_tree,
+    render_plan_tree,
+    render_span,
+)
+from repro.observe.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "ExplainReport",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "OperatorStats",
+    "PlanProfiler",
+    "Span",
+    "Tracer",
+    "observed",
+    "plan_tree",
+    "render_plan_tree",
+    "render_span",
+]

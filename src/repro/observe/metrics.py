@@ -1,0 +1,117 @@
+"""Named counters and histograms with snapshot/reset semantics.
+
+The registry is the deterministic backbone of the observability layer:
+instrumented subsystems (object store, text index, calculus evaluator,
+algebra operators) increment *named counters* — ``oodb.derefs``,
+``text.word_probes``, ``algebra.union_fanout`` — which tests can assert
+on exactly, unlike wall-clock timings.
+
+Instrumentation sites hold a ``metrics`` attribute that is ``None`` by
+default and guard every event with one ``is not None`` check, so the
+disabled path costs a single attribute test.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def histogram(self, name: str) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Current value of a counter (``default`` when never touched)."""
+        found = self._counters.get(name)
+        return found.value if found is not None else default
+
+    def snapshot(self) -> dict:
+        """Structured, JSON-friendly copy of every metric."""
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self._counters.items())},
+            "histograms": {name: histogram.summary()
+                           for name, histogram
+                           in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"histograms={len(self._histograms)})")

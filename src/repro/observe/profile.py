@@ -1,0 +1,113 @@
+"""Per-operator profiling of algebra plans, and observer installation.
+
+:class:`PlanProfiler` wraps each operator's row stream, recording
+
+* ``rows_out`` — rows the operator yielded (the EXPLAIN ANALYZE "actual
+  rows", deterministic for a given corpus),
+* ``pulls`` — how many times the stream was opened (a shared subtree is
+  pulled once per consuming branch),
+* ``elapsed`` — inclusive wall-clock seconds spent producing those rows
+  (the operator plus its subtree; informational only — never assert on
+  it).
+
+:func:`observed` temporarily installs a metrics registry, tracer and
+profiler on an :class:`~repro.calculus.evaluator.EvalContext` — and on
+the objects hanging off it (the instance and the text index) — restoring
+the previous observers on exit.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class OperatorStats:
+    """Deterministic row counts plus elapsed time for one plan node."""
+
+    __slots__ = ("rows_out", "pulls", "elapsed")
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+        self.pulls = 0
+        self.elapsed = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"OperatorStats(rows_out={self.rows_out}, "
+                f"pulls={self.pulls}, elapsed={self.elapsed:.6f})")
+
+
+class PlanProfiler:
+    """Accumulates :class:`OperatorStats` keyed by plan-node identity."""
+
+    def __init__(self) -> None:
+        # id(op) -> stats; the operator object is kept alive alongside so
+        # the id cannot be recycled while the profiler holds it.
+        self._stats: dict[int, tuple[object, OperatorStats]] = {}
+
+    def stats_for(self, operator) -> OperatorStats:
+        entry = self._stats.get(id(operator))
+        if entry is None:
+            entry = (operator, OperatorStats())
+            self._stats[id(operator)] = entry
+        return entry[1]
+
+    def rows_out(self, operator) -> int:
+        """Actual rows the operator yielded (0 when it never ran)."""
+        entry = self._stats.get(id(operator))
+        return entry[1].rows_out if entry is not None else 0
+
+    def wrap(self, operator, inner: Iterator) -> Iterator:
+        """Meter ``inner``: count yielded rows, time each pull.
+
+        Elapsed time covers only the production of rows (the time between
+        a ``next()`` request and its answer) — the consumer's own work in
+        between is excluded, so a node's time is inclusive of its subtree
+        but not of its parents.
+        """
+        stats = self.stats_for(operator)
+        stats.pulls += 1
+        perf_counter = time.perf_counter
+        while True:
+            started = perf_counter()
+            try:
+                row = next(inner)
+            except StopIteration:
+                stats.elapsed += perf_counter() - started
+                return
+            stats.elapsed += perf_counter() - started
+            stats.rows_out += 1
+            yield row
+
+
+@contextmanager
+def observed(ctx, metrics=None, tracer=None, profiler=None):
+    """Install observers on an evaluation context, restore them on exit.
+
+    ``ctx`` is an :class:`~repro.calculus.evaluator.EvalContext`; the
+    metrics registry is propagated to ``ctx.instance`` and
+    ``ctx.text_index`` (when present) so dereference and index-probe
+    counters land in the same snapshot.
+    """
+    instance = ctx.instance
+    text_index = getattr(ctx, "text_index", None)
+    saved = (ctx.metrics, ctx.tracer, ctx.profiler,
+             instance.metrics,
+             text_index.metrics if text_index is not None else None)
+    if metrics is not None:
+        ctx.metrics = metrics
+        instance.metrics = metrics
+        if text_index is not None:
+            text_index.metrics = metrics
+    if tracer is not None:
+        ctx.tracer = tracer
+    if profiler is not None:
+        ctx.profiler = profiler
+    try:
+        yield ctx
+    finally:
+        (ctx.metrics, ctx.tracer, ctx.profiler,
+         instance.metrics, saved_index_metrics) = saved
+        if text_index is not None:
+            text_index.metrics = saved_index_metrics

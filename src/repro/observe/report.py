@@ -1,0 +1,150 @@
+"""Rendering of profiled queries — the EXPLAIN ANALYZE output.
+
+:class:`ExplainReport` is what :meth:`repro.session.DocumentStore.explain_analyze`
+returns: the executed plan annotated with *actual* per-operator row
+counts (algebra backend), the pipeline span tree, the result, and a
+structured metrics snapshot.  ``str(report)`` renders the familiar
+indented tree::
+
+    Project [t]  (rows=3, pulls=1, time=1.2ms)
+      Union (13 branches)  (rows=5, pulls=1, time=1.1ms)
+        MakePath P = .title  (rows=1, pulls=1, time=0.1ms)
+        ...
+
+Row counts and plan shapes are deterministic; times are informational.
+"""
+
+from __future__ import annotations
+
+from repro.observe.profile import PlanProfiler
+from repro.observe.trace import Span
+
+
+def _label(operator) -> str:
+    """The operator's own describe line (no children)."""
+    return operator.describe(0).split("\n", 1)[0]
+
+
+def plan_tree(operator, profiler: PlanProfiler | None = None) -> dict:
+    """Nested ``{operator, label, rows, pulls, elapsed, children}``."""
+    stats = profiler.stats_for(operator) if profiler is not None else None
+    return {
+        "operator": type(operator).__name__,
+        "label": _label(operator),
+        "rows": stats.rows_out if stats is not None else None,
+        "pulls": stats.pulls if stats is not None else None,
+        "elapsed": stats.elapsed if stats is not None else None,
+        "children": [plan_tree(child, profiler)
+                     for child in operator.children()],
+    }
+
+
+def render_plan_tree(tree: dict, indent: int = 0) -> str:
+    pad = "  " * indent
+    annotation = ""
+    if tree["rows"] is not None:
+        annotation = (f"  (rows={tree['rows']}, pulls={tree['pulls']}, "
+                      f"time={tree['elapsed'] * 1000:.2f}ms)")
+    lines = [pad + tree["label"] + annotation]
+    for child in tree["children"]:
+        lines.append(render_plan_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def render_span(span: Span, indent: int = 0) -> str:
+    pad = "  " * indent
+    attributes = "".join(
+        f" {key}={value}" for key, value in span.attributes.items())
+    lines = [f"{pad}{span.name}{attributes}  "
+             f"[{span.elapsed * 1000:.2f}ms]"]
+    for child in span.children:
+        lines.append(render_span(child, indent + 1))
+    return "\n".join(lines)
+
+
+class ExplainReport:
+    """The result of running a query with full observation."""
+
+    def __init__(self, text: str, backend: str, result, plan,
+                 profiler: PlanProfiler | None, metrics: dict,
+                 trace: Span | None) -> None:
+        self.text = text
+        self.backend = backend
+        self.result = result
+        self.plan = plan
+        self.profiler = profiler
+        #: structured snapshot — ``{"counters": {...}, "histograms": {...}}``
+        self.metrics = metrics
+        self.trace = trace
+
+    # -- structured access ---------------------------------------------------
+
+    @property
+    def tree(self) -> dict | None:
+        """The annotated plan tree (``None`` for the calculus backend)."""
+        if self.plan is None:
+            return None
+        return plan_tree(self.plan, self.profiler)
+
+    def operators(self) -> list[dict]:
+        """Flat pre-order list of annotated plan nodes."""
+        found: list[dict] = []
+
+        def visit(node: dict) -> None:
+            found.append({key: node[key] for key in
+                          ("operator", "label", "rows", "pulls", "elapsed")})
+            for child in node["children"]:
+                visit(child)
+
+        tree = self.tree
+        if tree is not None:
+            visit(tree)
+        return found
+
+    def rows_for(self, operator_name: str) -> list[int]:
+        """Actual row counts of every node of the given operator class."""
+        return [node["rows"] for node in self.operators()
+                if node["operator"] == operator_name]
+
+    def union_fanouts(self) -> list[int]:
+        """Branch counts of every UnionOp in the executed plan."""
+        if self.plan is None:
+            return []
+        from repro.algebra.operators import UnionOp
+        found: list[int] = []
+
+        def visit(operator) -> None:
+            if isinstance(operator, UnionOp):
+                found.append(len(operator.branches))
+            for child in operator.children():
+                visit(child)
+
+        visit(self.plan)
+        return found
+
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.metrics.get("counters", {}).get(name, default)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [f"EXPLAIN ANALYZE ({self.backend} backend) — "
+                 f"{len(self.result)} row(s)"]
+        if self.plan is not None:
+            lines.append(render_plan_tree(self.tree))
+        if self.trace is not None:
+            lines.append("")
+            lines.append(render_span(self.trace))
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("counters:")
+            lines.extend(f"  {name} = {value}"
+                         for name, value in counters.items())
+        return "\n".join(lines)
+
+    __str__ = render
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ExplainReport(backend={self.backend!r}, "
+                f"rows={len(self.result)})")

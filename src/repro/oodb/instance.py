@@ -37,6 +37,8 @@ class Instance:
         self._methods: dict[tuple[str, str], Callable] = {}
         # gamma: root name -> value
         self._roots: dict[str, object] = {}
+        #: optional repro.observe MetricsRegistry; ``None`` = disabled
+        self.metrics = None
 
     # -- object management ---------------------------------------------------
 
@@ -69,6 +71,8 @@ class Instance:
 
     def deref(self, oid: Oid) -> object:
         """``nu(oid)`` — the value of the object."""
+        if self.metrics is not None:
+            self.metrics.inc("oodb.derefs")
         try:
             return self._values[oid.number]
         except KeyError:

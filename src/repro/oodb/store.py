@@ -74,6 +74,8 @@ class ObjectStore:
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        #: optional repro.observe MetricsRegistry; ``None`` = disabled
+        self.metrics = None
 
     # -- index management ---------------------------------------------------
 
@@ -133,7 +135,11 @@ class ObjectStore:
         if index is None:
             raise StoreError(
                 f"no index on {class_name}.{attribute}")
-        return index.lookup(key)
+        hits = index.lookup(key)
+        if self.metrics is not None:
+            self.metrics.inc("store.index_probes")
+            self.metrics.inc("store.index_hits", len(hits))
+        return hits
 
     # -- statistics -----------------------------------------------------------
 
@@ -196,9 +202,11 @@ class ObjectStore:
                    on_missing_root=None) -> "ObjectStore":
         """Rebuild a store from :meth:`snapshot_bytes` output.
 
-        ``on_missing_root(name, value)`` is called for roots present in
-        the snapshot but not declared in ``schema`` (e.g. O₂ *names*
-        registered at runtime); it must declare the root or raise.
+        ``on_missing_root(name, value, instance)`` is called for roots
+        present in the snapshot but not declared in ``schema`` (e.g. O₂
+        *names* registered at runtime); it must declare the root or
+        raise.  ``instance`` is the fully decoded instance, so the
+        callback can resolve oids while inferring the root's type.
         """
         if not data.startswith(_MAGIC):
             raise StoreError("not a repro store snapshot")
@@ -225,7 +233,7 @@ class ObjectStore:
         instance._next_oid = max_number + 1
         for name, value in pending_roots:
             if not schema.has_root(name) and on_missing_root is not None:
-                on_missing_root(name, value)
+                on_missing_root(name, value, instance)
             instance.set_root(name, value)
         instance.check()
         return cls(instance)

@@ -28,11 +28,22 @@ from repro.sgml.validator import validation_problems
 from repro.text.index import TextIndex
 
 
+def _root_type(value: object, instance):
+    """The declared type of a persistence root (shared by
+    :meth:`DocumentStore.define_name` and the :meth:`DocumentStore.load`
+    restore path): objects keep their allocation class, everything else
+    is inferred structurally against the given instance."""
+    if isinstance(value, Oid):
+        return ClassType(value.class_name)
+    from repro.oodb.typecheck import infer_value_type
+    return infer_value_type(value, instance)
+
+
 class DocumentStore:
     """An SGML document database over the extended O₂ model."""
 
     def __init__(self, dtd_text: str, path_semantics: str = "restricted",
-                 backend: str = "calculus") -> None:
+                 backend: str = "calculus", optimize: bool = True) -> None:
         self.dtd = parse_dtd(dtd_text)
         problems = self.dtd.check()
         if problems:
@@ -43,8 +54,10 @@ class DocumentStore:
         self.store = ObjectStore(self.loader.instance)
         self._engine = QueryEngine(
             self.loader.instance, self.loader.provenance,
-            path_semantics=path_semantics, backend=backend)
+            path_semantics=path_semantics, backend=backend,
+            optimize=optimize)
         self.text_index: TextIndex | None = None
+        self._metrics = None
 
     # -- loading ---------------------------------------------------------------
 
@@ -77,12 +90,7 @@ class DocumentStore:
 
     def define_name(self, name: str, value: object) -> None:
         """Register an extra persistence root (an O₂ *name*)."""
-        if isinstance(value, Oid):
-            declared = ClassType(value.class_name)
-        else:
-            from repro.oodb.typecheck import infer_value_type
-            declared = infer_value_type(value, self.instance)
-        self.schema.roots[name] = declared
+        self.schema.roots[name] = _root_type(value, self.instance)
         self.instance.set_root(name, value)
 
     # -- integrity ------------------------------------------------------------
@@ -101,6 +109,7 @@ class DocumentStore:
             content = text_of(oid, self.instance, self.loader.provenance)
             if content:
                 index.add(oid, content)
+        index.metrics = self._metrics
         self.text_index = index
         self._engine.ctx.text_index = index
         return index
@@ -113,6 +122,46 @@ class DocumentStore:
 
     def explain(self, text: str) -> str:
         return self._engine.explain(text)
+
+    def explain_analyze(self, text: str):
+        """Run the query fully observed and return an
+        :class:`~repro.observe.report.ExplainReport`: on the algebra
+        backend, the executed plan annotated with the *actual* row count
+        of every operator; on both backends, the stage span tree
+        (parse → translate → safety → inference → compile/evaluate →
+        execute) and a deterministic counter snapshot (dereferences,
+        index probes, binding enumerations, union fan-out)."""
+        return self._engine.explain_analyze(text)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def enable_metrics(self):
+        """Install a persistent metrics registry on every layer (object
+        store, text index, evaluation context).  Returns the registry;
+        counting starts now and covers all subsequent operations."""
+        if self._metrics is None:
+            from repro.observe import MetricsRegistry
+            self._metrics = MetricsRegistry()
+        self._wire_metrics()
+        return self._metrics
+
+    def _wire_metrics(self) -> None:
+        self.instance.metrics = self._metrics
+        self.store.metrics = self._metrics
+        self._engine.ctx.metrics = self._metrics
+        if self.text_index is not None:
+            self.text_index.metrics = self._metrics
+
+    def metrics(self) -> dict:
+        """Structured snapshot of the store-wide metrics registry
+        (auto-enables metrics on first call)."""
+        if self._metrics is None:
+            self.enable_metrics()
+        return self._metrics.snapshot()
+
+    def reset_metrics(self) -> None:
+        if self._metrics is not None:
+            self._metrics.reset()
 
     def check_query(self, text: str) -> dict:
         return self._engine.check(text)
@@ -187,18 +236,14 @@ class DocumentStore:
         """
         import os
         from repro.oodb.store import ObjectStore
-        from repro.oodb.types import ANY, ClassType
-        from repro.oodb.values import Oid
         with open(f"{os.fspath(path)}.dtd") as handle:
             dtd_text = handle.read()
         store = cls(dtd_text)
 
-        def declare(name: str, value: object) -> None:
-            if isinstance(value, Oid):
-                store.schema.roots[name] = ClassType(value.class_name)
-            else:
-                from repro.oodb.typecheck import infer_value_type
-                store.schema.roots[name] = infer_value_type(value)
+        def declare(name: str, value: object, instance) -> None:
+            # same inference as define_name — against the *restored*
+            # instance, so oids inside collection/tuple roots resolve
+            store.schema.roots[name] = _root_type(value, instance)
 
         restored = ObjectStore.load(store.schema, path, declare)
         store.loader.instance = restored.instance
@@ -206,7 +251,8 @@ class DocumentStore:
         store._engine = QueryEngine(
             restored.instance, provenance=None,
             path_semantics=store._engine.ctx.path_semantics,
-            backend=store._engine.backend)
+            backend=store._engine.backend,
+            optimize=store._engine.optimize)
         return store
 
     # -- reporting ---------------------------------------------------------------

@@ -39,6 +39,8 @@ class TextIndex:
     def __init__(self) -> None:
         self._postings: dict[str, list[tuple[Hashable, int]]] = {}
         self._documents: dict[Hashable, int] = {}  # key -> token count
+        #: optional repro.observe MetricsRegistry; ``None`` = disabled
+        self.metrics = None
 
     # -- building -------------------------------------------------------------
 
@@ -67,13 +69,19 @@ class TextIndex:
 
     def keys_with_word(self, word: str) -> set[Hashable]:
         """Exact-token probe."""
-        return {key for key, _ in self._postings.get(word, ())}
+        postings = self._postings.get(word, ())
+        if self.metrics is not None:
+            self.metrics.inc("text.word_probes")
+            self.metrics.inc("text.postings_scanned", len(postings))
+        return {key for key, _ in postings}
 
     def keys_matching(self, word_pattern: str) -> set[Hashable]:
         """Pattern probe: literal words hit directly, regex-ish ones scan
         the vocabulary with the NFA."""
         if _is_literal_word(word_pattern):
             return self.keys_with_word(word_pattern)
+        if self.metrics is not None:
+            self.metrics.inc("text.vocabulary_scans")
         matcher = compile_pattern_text(word_pattern)
         hits: set[Hashable] = set()
         for token, postings in self._postings.items():
@@ -83,6 +91,8 @@ class TextIndex:
 
     def keys_with_phrase(self, pattern: Pattern) -> set[Hashable]:
         """Phrase probe using positions (consecutive tokens)."""
+        if self.metrics is not None:
+            self.metrics.inc("text.phrase_probes")
         per_word: list[dict[Hashable, set[int]]] = []
         for offset, source_word in enumerate(pattern.source.split()):
             positions: dict[Hashable, set[int]] = {}

@@ -4,9 +4,16 @@ Hypothesis generates random path predicates over the Knuth_Books
 database; for every generated query the compiled plan must return
 exactly the interpreter's result — the central soundness/completeness
 claim of the Section-5.4 algebraization.
+
+The sweep takes tens of seconds, so it carries the ``bench`` marker
+and stays out of the ``-m "not bench"`` inner loop; targeted
+equivalence coverage remains there (tests/algebra/test_compile_execute
+and tests/observe/test_backend_parity).
 """
 
 import pytest
+
+pytestmark = pytest.mark.bench
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

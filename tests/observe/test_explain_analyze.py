@@ -1,0 +1,144 @@
+"""EXPLAIN ANALYZE over the Figure-2 store.
+
+``DocumentStore.explain_analyze`` runs a query fully observed and
+returns an :class:`~repro.observe.report.ExplainReport`.  On the
+algebra backend the report carries the executed plan annotated with the
+*actual* rows each operator produced; on both backends it carries the
+stage span tree and a deterministic counter snapshot.
+"""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.observe import ExplainReport
+
+Q3 = "select t from my_article PATH_p.title(t)"
+
+
+@pytest.fixture(scope="module")
+def algebra_store():
+    store = DocumentStore(ARTICLE_DTD, backend="algebra")
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    return store
+
+
+@pytest.fixture(scope="module")
+def calculus_store():
+    store = DocumentStore(ARTICLE_DTD, backend="calculus")
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    return store
+
+
+class TestAlgebraReport:
+    def test_report_carries_result_and_plan(self, algebra_store):
+        report = algebra_store.explain_analyze(Q3)
+        assert isinstance(report, ExplainReport)
+        assert report.backend == "algebra"
+        assert report.result == algebra_store.query(Q3)
+        assert report.plan is not None
+
+    def test_actual_rows_per_operator(self, algebra_store):
+        report = algebra_store.explain_analyze(Q3)
+        # three titles in the Figure-2 article → the Project emits 3
+        assert report.rows_for("ProjectOp") == [3]
+        # the 14 union branches together yield 8 raw bindings
+        assert report.rows_for("UnionOp") == [8]
+        # every annotated node ran: rows and pulls are concrete ints
+        for node in report.operators():
+            assert isinstance(node["rows"], int)
+            assert node["pulls"] >= 0
+
+    def test_union_fanout_from_variable_elimination(self, algebra_store):
+        report = algebra_store.explain_analyze(Q3)
+        # Section 5.4: PATH_p compiles away into one Union over all
+        # schema positions where `.title` applies — 14 on Figure 3
+        assert report.union_fanouts() == [14]
+        assert report.counter("algebra.union_fanout") == 14
+
+    def test_stage_span_tree(self, algebra_store):
+        report = algebra_store.explain_analyze(Q3)
+        root = report.trace
+        assert root.name == "query"
+        assert root.attributes["backend"] == "algebra"
+        assert root.path_names() == [
+            "parse", "translate", "safety", "inference",
+            "compile", "execute"]
+        compile_span = root.child("compile")
+        assert compile_span.attributes["unions"] == 1
+        assert compile_span.attributes["operators"] > 1
+        assert root.attributes["rows"] == 3
+
+    def test_render_is_an_indented_tree(self, algebra_store):
+        rendered = str(algebra_store.explain_analyze(Q3))
+        assert "EXPLAIN ANALYZE (algebra backend) — 3 row(s)" in rendered
+        assert "rows=3" in rendered
+        assert "algebra.union_fanout = 14" in rendered
+        # children are indented under the Project root
+        lines = rendered.splitlines()
+        project_line = next(i for i, line in enumerate(lines)
+                            if "Project" in line)
+        assert lines[project_line + 1].startswith("  ")
+
+    def test_observers_are_uninstalled_afterwards(self, algebra_store):
+        algebra_store.explain_analyze(Q3)
+        ctx = algebra_store._engine.ctx
+        assert ctx.profiler is None
+        assert ctx.tracer is None
+
+
+class TestCalculusReport:
+    def test_no_plan_but_spans_and_counters(self, calculus_store):
+        report = calculus_store.explain_analyze(Q3)
+        assert report.backend == "calculus"
+        assert report.plan is None
+        assert report.tree is None
+        assert report.operators() == []
+        assert report.union_fanouts() == []
+        root = report.trace
+        assert root.path_names() == [
+            "parse", "translate", "safety", "inference", "evaluate"]
+        assert root.attributes["rows"] == 3
+
+    def test_enumeration_counters_are_deterministic(self, calculus_store):
+        report = calculus_store.explain_analyze(Q3)
+        # one path atom, three satisfying bindings, and a fixed number
+        # of candidate paths enumerated on the Figure-2 instance
+        assert report.counter("calculus.atoms") == 1
+        assert report.counter("calculus.bindings") == 3
+        assert report.counter("calculus.paths_enumerated") == 55
+        assert report.counter("oodb.derefs") > 0
+
+    def test_repeated_runs_give_identical_counters(self, calculus_store):
+        first = calculus_store.explain_analyze(Q3)
+        second = calculus_store.explain_analyze(Q3)
+        assert first.metrics["counters"] == second.metrics["counters"]
+
+
+class TestStoreMetricsFacade:
+    def test_metrics_auto_enables_and_accumulates(self):
+        store = DocumentStore(ARTICLE_DTD)
+        store.load_text(SAMPLE_ARTICLE, name="my_article")
+        assert store.metrics()["counters"] == {}
+        store.query(Q3)
+        after_one = store.metrics()["counters"]
+        assert after_one["calculus.bindings"] == 3
+        store.query(Q3)
+        after_two = store.metrics()["counters"]
+        assert after_two["calculus.bindings"] == 6
+
+    def test_reset_metrics(self):
+        store = DocumentStore(ARTICLE_DTD)
+        store.load_text(SAMPLE_ARTICLE, name="my_article")
+        store.enable_metrics()
+        store.query(Q3)
+        store.reset_metrics()
+        assert store.metrics()["counters"] == {}
+
+    def test_explain_analyze_does_not_pollute_store_metrics(self):
+        store = DocumentStore(ARTICLE_DTD)
+        store.load_text(SAMPLE_ARTICLE, name="my_article")
+        store.enable_metrics()
+        store.explain_analyze(Q3)
+        # the report used its own registry; the store's stays empty
+        assert store.metrics()["counters"] == {}

@@ -114,6 +114,34 @@ class TestSessionPersistence:
         root = reloaded.instance.root(reloaded.mapped.root_name)
         assert len(root) == 2
 
+    def test_non_oid_roots_survive_reload(self, store, tmp_path):
+        # O₂ *names* are not restricted to objects: scalars and
+        # collections of oids round-trip too, with their types
+        # re-inferred against the restored instance
+        from repro.oodb.values import SetValue
+        article = store.instance.root("my_article")
+        store.define_name("revision", 42)
+        store.define_name("shortlist", SetValue([article]))
+        path = tmp_path / "session.db"
+        store.save(path)
+
+        reloaded = DocumentStore.load(path)
+        assert reloaded.instance.root("revision") == 42
+        shortlist = reloaded.instance.root("shortlist")
+        assert isinstance(shortlist, SetValue)
+        assert len(shortlist) == 1
+        # the declared root types were re-inferred on load
+        from repro.oodb import INTEGER
+        from repro.oodb.types import ClassType, SetType
+        assert reloaded.schema.roots["revision"] == INTEGER
+        shortlist_type = reloaded.schema.roots["shortlist"]
+        assert isinstance(shortlist_type, SetType)
+        assert isinstance(shortlist_type.element, ClassType)
+        # and the collection root is queryable
+        result = reloaded.query(
+            "select t from a in shortlist, t in a.sections")
+        assert len(result) > 0
+
     def test_updates_survive_persistence(self, store, tmp_path):
         article = store.instance.root("my_article")
         title = store.instance.deref(article).get("title")
