@@ -1,0 +1,103 @@
+"""Experiment P6 — prepared-query plan cache (serving path).
+
+The algebraization of Section 5.4 is a pure function of query text and
+schema, so its output can be cached.  We measure, per representative
+query and backend:
+
+  (i)  the cold pipeline (cache cleared every iteration:
+       parse → translate → safety → inference → compile → execute),
+  (ii) the warm path (plan served from the cache: execute only),
+  (iii) a prepared handle (``prepare()`` once, ``run()`` many), and
+  (iv) batch submission via ``query_many`` with duplicate texts.
+
+Expected shape: the front end is a fixed per-query cost, so warm/cold
+speedup is largest for selective queries (cheap execution) and smallest
+for enumerative ones whose runtime is execution-dominated.  Epoch bumps
+put one recompilation back on the next run — measured in (v).
+"""
+
+import pytest
+
+from conftest import build_corpus_store
+
+QUERIES = {
+    "q3_titles": "select t from my_article PATH_p.title(t)",
+    "q5_grep": """select name(ATT_a)
+                  from my_article PATH_p.ATT_a(val)
+                  where val contains ("final")""",
+    "scan_filter": """select a from a in Articles
+                      where a.status = "final" """,
+    "contains_join": """select s.title
+                        from a in Articles, s in a.sections
+                        where s.title contains ("the" or "of")""",
+}
+
+BACKENDS = ("calculus", "algebra")
+
+
+def _store(backend):
+    store = build_corpus_store(20, backend=backend)
+    from repro.corpus import SAMPLE_ARTICLE
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    store.build_text_index()
+    return store
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def store(request):
+    return _store(request.param)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_bench_p6_cold(benchmark, store, name):
+    text = QUERIES[name]
+
+    def cold():
+        store.plan_cache.clear()
+        return store.query(text)
+
+    result = benchmark(cold)
+    benchmark.extra_info["rows"] = len(result)
+    benchmark.extra_info["backend"] = store._engine.backend
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_bench_p6_warm(benchmark, store, name):
+    text = QUERIES[name]
+    store.query(text)                       # prime the cache
+    result = benchmark(store.query, text)
+    benchmark.extra_info["rows"] = len(result)
+    benchmark.extra_info["backend"] = store._engine.backend
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_bench_p6_prepared(benchmark, store, name):
+    prepared = store.prepare(QUERIES[name])
+    result = benchmark(prepared.run)
+    assert result == store.query(QUERIES[name])
+    benchmark.extra_info["backend"] = store._engine.backend
+
+
+def test_bench_p6_query_many_amortizes(benchmark, store):
+    # 4 distinct plans, 20 submissions — the batch API pays 4 lookups
+    batch = [text for text in QUERIES.values() for _ in range(5)]
+    results = benchmark(store.query_many, batch)
+    assert len(results) == len(batch)
+
+
+def test_bench_p6_epoch_bump_recompiles(benchmark, store, capsys):
+    """Worst case for the cache: every run follows a mutation, so every
+    run recompiles.  This bounds the overhead an edit adds to the next
+    query (one front-end pass) versus the steady warm state."""
+    text = QUERIES["q3_titles"]
+
+    def edit_then_query():
+        store.plan_cache.bump_epoch()
+        return store.query(text)
+
+    result = benchmark(edit_then_query)
+    stats = store.stats()
+    with capsys.disabled():
+        print(f"\n[P6] {store._engine.backend}: epoch {stats['epoch']}, "
+              f"{stats['plan_cache']['entries']} cached plan(s), "
+              f"{len(result)} rows")

@@ -12,6 +12,7 @@ The package implements the whole stack the paper describes:
 * :mod:`repro.o2sql` — the extended query language (Section 4),
 * :mod:`repro.calculus` — the formal calculus (Section 5),
 * :mod:`repro.algebra` — the algebraization (Section 5.4),
+* :mod:`repro.cache` — the prepared-query plan cache (serving path),
 * :mod:`repro.corpus` — the paper's figures and synthetic corpora.
 
 Quickstart::
@@ -24,8 +25,9 @@ Quickstart::
     titles = store.query("select t from my_article PATH_p.title(t)")
 """
 
+from repro.cache import PlanCache, PreparedQuery
 from repro.session import DocumentStore
 
 __version__ = "1.0.0"
 
-__all__ = ["DocumentStore", "__version__"]
+__all__ = ["DocumentStore", "PlanCache", "PreparedQuery", "__version__"]

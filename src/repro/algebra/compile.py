@@ -95,9 +95,17 @@ from repro.algebra.operators import (
 
 
 def compile_query(query: Query, schema: Schema,
-                  ctx: EvalContext | None = None) -> ProjectOp:
-    """Compile a calculus query to an executable plan."""
-    if ctx is not None and ctx.path_semantics != RESTRICTED:
+                  ctx: EvalContext | None = None,
+                  path_semantics: str | None = None) -> ProjectOp:
+    """Compile a calculus query to an executable plan.
+
+    The path-semantics mode may be given directly (the plan-cache path
+    does, so compiled plans never reference a mutable evaluation
+    context) or read off ``ctx`` for compatibility.
+    """
+    if path_semantics is None and ctx is not None:
+        path_semantics = ctx.path_semantics
+    if path_semantics is not None and path_semantics != RESTRICTED:
         raise CompilationError(
             "the algebraization requires the restricted path semantics; "
             "the liberal semantics would need a transitive-closure "

@@ -407,10 +407,19 @@ class UnionOp(Operator):
         return "\n".join(lines)
 
 
+_NO_CANDIDATES = object()  # "probe not yet run" (None = "no pruning")
+
+
 class IndexFilterOp(Operator):
     """Optimizer product: prune rows whose variable cannot satisfy a
     ``contains`` pattern, using the full-text index, then re-check
-    exactly."""
+    exactly.
+
+    The candidate set is probed once per plan object and memoized —
+    sound because a plan never outlives its compilation epoch: the plan
+    cache recompiles after any data change, so a fresh plan re-probes
+    the (incrementally maintained) index.
+    """
 
     def __init__(self, child: Operator, variable, pattern,
                  recheck_atom) -> None:
@@ -418,7 +427,7 @@ class IndexFilterOp(Operator):
         self.variable = variable
         self.pattern = pattern
         self.recheck_atom = recheck_atom
-        self._candidates = None
+        self._candidates = _NO_CANDIDATES
 
     def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         metrics = ctx.metrics
@@ -432,7 +441,7 @@ class IndexFilterOp(Operator):
                     yield row
                     break
             return
-        if self._candidates is None:
+        if self._candidates is _NO_CANDIDATES:
             self._candidates = index.candidates(self.pattern)
         candidates = self._candidates
         for row in self.child.rows(ctx):

@@ -1,0 +1,29 @@
+"""Prepared-query caching (the serving-path memoization layer).
+
+* :mod:`repro.cache.plancache` — the thread-safe, epoch-guarded LRU
+  cache of pipeline artifacts (calculus form + optimized algebra plan),
+  keyed by normalized query text, backend and path-semantics mode;
+* :mod:`repro.cache.prepared` — :class:`PreparedQuery`, the compile
+  once / run many handle returned by ``DocumentStore.prepare``.
+
+The cache closes the gap the XML query-language survey calls out
+between calculus-style languages and deployed engines: repeated
+evaluation no longer re-runs parse → translate → safety → inference →
+compile, because those stages are pure functions of the query text and
+the schema.  Data and schema changes bump a store-wide epoch so a
+cached plan is never served stale.
+"""
+
+from repro.cache.plancache import (
+    CachedArtifacts,
+    PlanCache,
+    normalize_query_text,
+)
+from repro.cache.prepared import PreparedQuery
+
+__all__ = [
+    "CachedArtifacts",
+    "PlanCache",
+    "PreparedQuery",
+    "normalize_query_text",
+]

@@ -1,0 +1,55 @@
+"""First-class prepared queries.
+
+A :class:`PreparedQuery` is a handle to a query whose pipeline
+artifacts live in the engine's :class:`~repro.cache.plancache.PlanCache`:
+preparing compiles immediately (a cold miss), and every subsequent
+:meth:`run` reuses the cached calculus/plan until a data or schema
+epoch bump forces one transparent recompilation.
+"""
+
+from __future__ import annotations
+
+
+class PreparedQuery:
+    """A query compiled once, executable many times.
+
+    The handle stays valid across data updates: execution goes through
+    the engine's epoch-guarded cache, so a store mutation after
+    ``prepare()`` simply recompiles on the next :meth:`run` instead of
+    serving a stale plan.
+    """
+
+    __slots__ = ("_engine", "text", "key")
+
+    def __init__(self, engine, text: str) -> None:
+        self._engine = engine
+        self.text = text
+        self.key = engine.cache_key(text)
+        # compile eagerly so the first run() already hits
+        engine.artifacts(text)
+
+    def run(self):
+        """Execute; the result is always a set (same as ``query()``)."""
+        return self._engine.run(self.text)
+
+    def explain_analyze(self):
+        """The fully observed run — on a warm cache the span tree shows
+        execution only (no parse/translate/compile stages)."""
+        return self._engine.explain_analyze(self.text)
+
+    @property
+    def calculus(self):
+        """The translated calculus query (recompiled when stale)."""
+        return self._engine.artifacts(self.text).query
+
+    @property
+    def plan(self):
+        """The optimized algebra plan (``None`` on the calculus
+        backend); recompiled when stale."""
+        return self._engine.artifacts(self.text).plan
+
+    def __repr__(self) -> str:  # pragma: no cover
+        summary = " ".join(self.text.split())
+        if len(summary) > 50:
+            summary = summary[:47] + "..."
+        return f"PreparedQuery({summary!r})"

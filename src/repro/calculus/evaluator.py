@@ -104,6 +104,26 @@ class EvalContext:
     def root_value(self, name: str) -> object:
         return self.instance.root(name)
 
+    def fork(self) -> "EvalContext":
+        """A per-call evaluation context.
+
+        Shares the instance, function registry and provenance; copies
+        the observer and index wiring as of the fork.  Each concurrent
+        query evaluates in its own fork, so per-query mutable state
+        (the nested-query memo, the evaluation-depth flag) never leaks
+        between threads while counters still land in the one shared
+        registry.
+        """
+        clone = EvalContext(self.instance, registry=self.registry,
+                            provenance=self.provenance,
+                            path_semantics=self.path_semantics,
+                            max_paths=self.max_paths)
+        clone.text_index = self.text_index
+        clone.metrics = self.metrics
+        clone.tracer = self.tracer
+        clone.profiler = self.profiler
+        return clone
+
 
 def evaluate_query(query: Query, ctx: EvalContext) -> SetValue:
     """Evaluate ``{x̄ | φ}``; the result is always a set (Section 5.2).

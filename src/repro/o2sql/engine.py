@@ -5,16 +5,31 @@ calculus → static safety check → (optional) type inference against the
 schema → evaluation, either with the calculus interpreter or with a
 compiled (and, by default, optimized) algebra plan (Section 5.4).
 
+The front half of that pipeline is a pure function of the query text
+and the schema, so it can be memoized: when a
+:class:`~repro.cache.plancache.PlanCache` is installed, :meth:`run`
+resolves its artifacts through the cache (epoch-guarded, so data and
+schema changes force a recompile), :meth:`prepare` returns a
+:class:`~repro.cache.prepared.PreparedQuery` handle, and
+:meth:`run_many` amortizes the cache lookups over a batch.
+
 Every stage is traced: when a :class:`~repro.observe.trace.Tracer` is
 installed on the evaluation context (or handed to :meth:`profile`), the
 engine records one span per stage with deterministic annotations (plan
-size, union fan-out, result cardinality).  With no tracer installed the
-stages run undecorated through a shared no-op tracer — the instrumented
-path costs one context-manager entry per *stage*, never per row.
+size, union fan-out, result cardinality).  On a cache hit the
+compile-side spans are genuinely absent — the trace shows execution
+only.  With no tracer installed the stages run undecorated through a
+shared no-op tracer — the instrumented path costs one context-manager
+entry per *stage*, never per row.
+
+Evaluation state is per call: each run executes against a fork of the
+engine's context, so concurrent reads from several threads share plans
+and counters but never per-query scratch state.
 """
 
 from __future__ import annotations
 
+from repro.cache import CachedArtifacts, PlanCache, PreparedQuery
 from repro.calculus.evaluator import EvalContext, evaluate_query
 from repro.calculus.inference import infer_types
 from repro.calculus.safety import check_safety
@@ -35,19 +50,26 @@ class QueryEngine:
     ``optimize`` controls the Section 4.1/6 plan rewrites (full-text
     index utilisation, selection pushdown) on the algebra backend; the
     rewrites are semantics-preserving, so it defaults to on.
+
+    ``cache`` is an optional :class:`~repro.cache.plancache.PlanCache`.
+    A bare engine defaults to no cache (mutating the instance directly
+    stays safe); :class:`~repro.session.DocumentStore` always installs
+    one and bumps its epoch on every mutation it performs.
     """
 
     def __init__(self, instance: Instance, provenance: dict | None = None,
                  path_semantics: str = "restricted",
                  type_check: bool = True,
                  backend: str = "calculus",
-                 optimize: bool = True) -> None:
+                 optimize: bool = True,
+                 cache: PlanCache | None = None) -> None:
         self.instance = instance
         self.ctx = EvalContext(instance, provenance=provenance,
                                path_semantics=path_semantics)
         self.type_check = type_check
         self.backend = backend
         self.optimize = optimize
+        self.cache = cache
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -65,46 +87,125 @@ class QueryEngine:
         check_safety(query)
         return infer_types(query, self.instance.schema)
 
+    # -- the cached front end -------------------------------------------------
+
+    def cache_key(self, text: str) -> tuple:
+        return PlanCache.key_for(text, self.backend,
+                                 self.ctx.path_semantics, self.type_check)
+
+    def artifacts(self, text: str) -> CachedArtifacts:
+        """The pipeline artifacts for ``text``, through the cache when
+        one is installed (compiling on miss or staleness)."""
+        entry, _ = self._artifacts(text, NULL_TRACER, self.ctx.metrics)
+        return entry
+
+    def _artifacts(self, text: str, tracer, metrics):
+        """Resolve (artifacts, was_cache_hit) for one query text.
+
+        The epoch is captured *before* compilation starts: if a writer
+        bumps it mid-compile, the stored entry is already stale-tagged
+        and the next lookup recompiles — never a stale serve.
+        """
+        cache = self.cache
+        key = None
+        epoch = 0
+        if cache is not None:
+            key = self.cache_key(text)
+            epoch = cache.epoch
+            entry = cache.lookup(key, metrics=metrics)
+            if entry is not None:
+                return entry, True
+        with tracer.span("parse"):
+            node = parse(text)
+        with tracer.span("translate"):
+            query = to_calculus(node, self.instance.schema.roots.keys())
+        with tracer.span("safety"):
+            check_safety(query)
+        if self.type_check:
+            with tracer.span("inference"):
+                infer_types(query, self.instance.schema)
+        plan = None
+        if self.backend == "algebra":
+            from repro.algebra.compile import compile_query
+            from repro.algebra.execute import count_unions, plan_size
+            with tracer.span("compile") as span:
+                plan = compile_query(
+                    query, self.instance.schema,
+                    path_semantics=self.ctx.path_semantics)
+                if self.optimize:
+                    from repro.algebra.optimizer import optimize
+                    plan = optimize(plan)
+                span.annotate("operators", plan_size(plan))
+                span.annotate("unions", count_unions(plan))
+        entry = CachedArtifacts(query=query, plan=plan, epoch=epoch,
+                                key=key)
+        if cache is not None:
+            cache.store(key, entry, metrics=metrics)
+        return entry, False
+
+    # -- execution ------------------------------------------------------------
+
     def run(self, text: str) -> SetValue:
         """The full pipeline; the result is always a set."""
         result, _ = self._run(text, self.ctx.tracer or NULL_TRACER)
         return result
 
+    def prepare(self, text: str) -> PreparedQuery:
+        """Compile now, run later (and often).  Installs a plan cache
+        on engines that have none yet."""
+        if self.cache is None:
+            self.cache = PlanCache()
+        return PreparedQuery(self, text)
+
+    def run_many(self, texts) -> list[SetValue]:
+        """Run a batch; artifacts are resolved once per distinct
+        normalized text, so the per-query overhead of a large
+        homogeneous batch is one cache lookup amortized over all its
+        repetitions.  Each text still executes separately (results come
+        back in input order)."""
+        tracer = self.ctx.tracer or NULL_TRACER
+        memo: dict = {}
+        results = []
+        for text in texts:
+            key = self.cache_key(text)
+            entry = memo.get(key)
+            if entry is None:
+                entry, _ = self._artifacts(text, tracer, self.ctx.metrics)
+                memo[key] = entry
+            results.append(self._execute(entry, tracer))
+        return results
+
     def _run(self, text: str, tracer):
         """Run all stages under spans; returns ``(result, plan-or-None)``."""
         with tracer.span("query", backend=self.backend) as root:
-            with tracer.span("parse"):
-                node = parse(text)
-            with tracer.span("translate"):
-                query = to_calculus(node, self.instance.schema.roots.keys())
-            with tracer.span("safety"):
-                check_safety(query)
-            if self.type_check:
-                with tracer.span("inference"):
-                    infer_types(query, self.instance.schema)
-            if self.backend == "algebra":
-                from repro.algebra.compile import compile_query
-                from repro.algebra.execute import (
-                    count_unions,
-                    execute_plan,
-                    plan_size,
-                )
-                with tracer.span("compile") as span:
-                    plan = compile_query(query, self.instance.schema,
-                                         self.ctx)
-                    if self.optimize:
-                        from repro.algebra.optimizer import optimize
-                        plan = optimize(plan)
-                    span.annotate("operators", plan_size(plan))
-                    span.annotate("unions", count_unions(plan))
+            ctx = self.ctx.fork()
+            entry, hit = self._artifacts(text, tracer, ctx.metrics)
+            if self.cache is not None:
+                root.annotate("plan_cache", "hit" if hit else "miss")
+            if entry.plan is not None:
+                from repro.algebra.execute import execute_plan
                 with tracer.span("execute"):
-                    result = execute_plan(plan, self.ctx)
+                    result = execute_plan(entry.plan, ctx)
                 root.annotate("rows", len(result))
-                return result, plan
+                return result, entry.plan
             with tracer.span("evaluate"):
-                result = evaluate_query(query, self.ctx)
+                result = evaluate_query(entry.query, ctx)
             root.annotate("rows", len(result))
             return result, None
+
+    def _execute(self, entry: CachedArtifacts, tracer) -> SetValue:
+        """Execute already-resolved artifacts under a fresh context."""
+        with tracer.span("query", backend=self.backend) as root:
+            ctx = self.ctx.fork()
+            if entry.plan is not None:
+                from repro.algebra.execute import execute_plan
+                with tracer.span("execute"):
+                    result = execute_plan(entry.plan, ctx)
+            else:
+                with tracer.span("evaluate"):
+                    result = evaluate_query(entry.query, ctx)
+            root.annotate("rows", len(result))
+            return result
 
     # -- observability --------------------------------------------------------
 
@@ -116,7 +217,10 @@ class QueryEngine:
 
         Observation is scoped to this one query: fresh registry, tracer
         and profiler are installed for the duration and the previous
-        observers (if any) are restored afterwards.
+        observers (if any) are restored afterwards.  The run goes
+        through the plan cache like any other — on a warm cache the
+        span tree carries no compile-side stages and the ``cache.hits``
+        counter appears in the snapshot.
         """
         from repro.observe import (
             ExplainReport,

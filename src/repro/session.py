@@ -12,6 +12,7 @@ extended-O₂SQL queries (Q1–Q6)::
 
 from __future__ import annotations
 
+from repro.cache import PlanCache, PreparedQuery
 from repro.errors import MappingError
 from repro.mapping.dtd_to_schema import MappedSchema, map_dtd
 from repro.mapping.loader import DocumentLoader
@@ -26,6 +27,20 @@ from repro.sgml.instance import Element
 from repro.sgml.instance_parser import parse_document
 from repro.sgml.validator import validation_problems
 from repro.text.index import TextIndex
+
+
+def _child_oids(value: object):
+    """Direct oid references inside one value (no dereferencing)."""
+    from repro.oodb.values import ListValue, SetValue, TupleValue
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Oid):
+            yield current
+        elif isinstance(current, TupleValue):
+            stack.extend(field_value for _, field_value in current)
+        elif isinstance(current, (ListValue, SetValue)):
+            stack.extend(current)
 
 
 def _root_type(value: object, instance):
@@ -52,12 +67,16 @@ class DocumentStore:
         self.mapped: MappedSchema = map_dtd(self.dtd)
         self.loader = DocumentLoader(self.mapped)
         self.store = ObjectStore(self.loader.instance)
+        #: Prepared-query plan cache; every mutation this facade
+        #: performs bumps its epoch, so cached plans are never stale.
+        self.plan_cache = PlanCache()
         self._engine = QueryEngine(
             self.loader.instance, self.loader.provenance,
             path_semantics=path_semantics, backend=backend,
-            optimize=optimize)
+            optimize=optimize, cache=self.plan_cache)
         self.text_index: TextIndex | None = None
         self._metrics = None
+        self._parents: dict[Oid, list[Oid]] | None = None
 
     # -- loading ---------------------------------------------------------------
 
@@ -83,15 +102,37 @@ class DocumentStore:
             if problems:
                 raise MappingError(
                     "invalid document: " + "; ".join(problems))
+        first_new = self.instance._next_oid  # oids this load will create
         oid = self.loader.load(tree)
+        self._absorb_new_objects(first_new)
         if name is not None:
             self.define_name(name, oid)
+        self._bump_epoch()
         return oid
+
+    def _absorb_new_objects(self, first_new: int) -> None:
+        """Keep incremental structures current for a fresh document:
+        index its objects' text (when an index exists) and extend the
+        parent map (when one has been built)."""
+        if self.text_index is None and self._parents is None:
+            return
+        for oid in self.instance.all_oids():
+            if oid.number < first_new:
+                continue
+            if self.text_index is not None:
+                content = text_of(oid, self.instance,
+                                  self.loader.provenance)
+                if content:
+                    self.text_index.add(oid, content)
+            if self._parents is not None:
+                self._record_children(oid)
 
     def define_name(self, name: str, value: object) -> None:
         """Register an extra persistence root (an O₂ *name*)."""
         self.schema.roots[name] = _root_type(value, self.instance)
         self.instance.set_root(name, value)
+        # a new root changes what identifiers translate to
+        self._bump_epoch()
 
     # -- integrity ------------------------------------------------------------
 
@@ -117,8 +158,32 @@ class DocumentStore:
     # -- querying --------------------------------------------------------------
 
     def query(self, text: str) -> SetValue:
-        """Run extended O₂SQL; the result is always a set."""
+        """Run extended O₂SQL; the result is always a set.
+
+        Pipeline artifacts (parse → translate → safety → inference →
+        compile) are resolved through :attr:`plan_cache`, so repeating
+        a query pays for execution only; any store mutation bumps the
+        cache epoch and forces one transparent recompilation.
+        """
         return self._engine.run(text)
+
+    def prepare(self, text: str) -> PreparedQuery:
+        """Compile ``text`` now and return a reusable handle; see
+        :class:`~repro.cache.prepared.PreparedQuery`."""
+        return self._engine.prepare(text)
+
+    def query_many(self, texts) -> list[SetValue]:
+        """Run a batch of queries (results in input order); cache
+        lookups are amortized — one per distinct normalized text."""
+        return self._engine.run_many(texts)
+
+    @property
+    def epoch(self) -> int:
+        """The store's data/schema epoch (bumped by every mutation)."""
+        return self.plan_cache.epoch
+
+    def _bump_epoch(self) -> None:
+        self.plan_cache.bump_epoch(metrics=self._metrics)
 
     def explain(self, text: str) -> str:
         return self._engine.explain(text)
@@ -196,7 +261,14 @@ class DocumentStore:
     def update_text(self, oid: Oid, new_text: str) -> None:
         """Edit the character data of a #PCDATA-bearing object in the
         database (Section 6's update direction).  The change is visible
-        to queries and to :meth:`export_document`."""
+        to queries and to :meth:`export_document`.
+
+        An existing text index is maintained incrementally: the edited
+        object *and every ancestor* embed the changed character data in
+        their reconstructed text, so all of them are re-indexed (and
+        the plan-cache epoch is bumped, so a cached index-backed plan
+        re-probes the fresh postings on its recompile).
+        """
         value = self.instance.deref(oid)
         from repro.oodb.values import TupleValue
         from repro.mapping.naming import TEXT_FIELD
@@ -209,6 +281,46 @@ class DocumentStore:
         # its ancestors; drop provenance entirely so text() switches to
         # the (always current) structural reconstruction.
         self.loader.provenance.clear()
+        if self.text_index is not None:
+            for target in self._ancestry(oid):
+                content = text_of(target, self.instance,
+                                  self.loader.provenance)
+                self.text_index.replace(target, content or "")
+        self._bump_epoch()
+
+    # -- containment (for incremental index maintenance) --------------------
+
+    def _parent_map(self) -> dict[Oid, list[Oid]]:
+        """oid → direct parent oids, built lazily from one full scan
+        (documents are trees, but shared objects are tolerated) and
+        kept current by :meth:`load_tree`.  Character-data edits never
+        change the structure, so no maintenance is needed there."""
+        if self._parents is None:
+            self._parents = {}
+            for oid in self.instance.all_oids():
+                self._record_children(oid)
+        return self._parents
+
+    def _record_children(self, parent: Oid) -> None:
+        for child in _child_oids(self.instance.deref(parent)):
+            self._parents.setdefault(child, []).append(parent)
+
+    def _ancestry(self, oid: Oid) -> list[Oid]:
+        """``oid`` plus every object reachable upward from it."""
+        parents = self._parent_map()
+        chain = [oid]
+        seen = {oid}
+        frontier = [oid]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for parent in parents.get(node, ()):
+                    if parent not in seen:
+                        seen.add(parent)
+                        chain.append(parent)
+                        next_frontier.append(parent)
+            frontier = next_frontier
+        return chain
 
     # -- persistence --------------------------------------------------------
 
@@ -248,11 +360,16 @@ class DocumentStore:
         restored = ObjectStore.load(store.schema, path, declare)
         store.loader.instance = restored.instance
         store.store = ObjectStore(restored.instance)
+        # a reloaded store starts cold: fresh cache at epoch 0, metrics
+        # counting from zero, no parent map yet
+        store.plan_cache = PlanCache()
+        store._parents = None
         store._engine = QueryEngine(
             restored.instance, provenance=None,
             path_semantics=store._engine.ctx.path_semantics,
             backend=store._engine.backend,
-            optimize=store._engine.optimize)
+            optimize=store._engine.optimize,
+            cache=store.plan_cache)
         return store
 
     # -- reporting ---------------------------------------------------------------
@@ -267,4 +384,6 @@ class DocumentStore:
             "objects": self.instance.object_count(),
             "classes": len(self.schema.class_names),
             "bytes": self.store.total_bytes(),
+            "epoch": self.plan_cache.epoch,
+            "plan_cache": self.plan_cache.stats(),
         }

@@ -54,6 +54,36 @@ class TextIndex:
         self._documents[key] = base + len(tokens)
         return len(tokens)
 
+    def remove(self, key: Hashable) -> int:
+        """Drop every posting of ``key``; returns the token count that
+        was removed (0 when the key was never indexed).  Tokens whose
+        posting list empties are dropped from the vocabulary."""
+        removed = self._documents.pop(key, None)
+        if removed is None:
+            return 0
+        if removed:
+            emptied = []
+            for token, postings in self._postings.items():
+                postings[:] = [entry for entry in postings
+                               if entry[0] != key]
+                if not postings:
+                    emptied.append(token)
+            for token in emptied:
+                del self._postings[token]
+        if self.metrics is not None:
+            self.metrics.inc("text.removals")
+        return removed
+
+    def replace(self, key: Hashable, text: str) -> int:
+        """Re-index ``key`` with fresh ``text`` (the incremental
+        maintenance step an in-database edit needs); returns the new
+        token count.  Unlike a bare :meth:`add`, old postings are
+        removed first, so the entry reflects only the new content."""
+        self.remove(key)
+        if self.metrics is not None:
+            self.metrics.inc("text.reindexed")
+        return self.add(key, text)
+
     @property
     def document_count(self) -> int:
         return len(self._documents)

@@ -1,0 +1,149 @@
+"""Concurrency stress: readers querying while a writer edits.
+
+The cache is lock-protected and every run evaluates on a forked
+per-call context, so N threads hammering the same store while
+``update_text`` bumps the epoch must (a) raise nothing, (b) honour
+epoch ordering — a query that starts after an edit completes, with no
+further concurrent edit, sees that edit — and (c) leave invalidation
+counters behind as evidence the stale plans really were recompiled.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+
+READERS = 4
+EDITS = 6
+
+STATIC_QUERY = "select t from my_article PATH_p.title(t)"
+SENTINEL_QUERY = ('select s.title from a in Articles, s in a.sections '
+                  'where s.title contains ("Sentinel{n}")')
+
+
+def build_store(backend="algebra"):
+    store = DocumentStore(ARTICLE_DTD, backend=backend)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    for tree in generate_corpus(3, seed=42):
+        store.load_tree(tree, validate=False)
+    store.build_text_index()
+    return store
+
+
+@pytest.mark.parametrize("backend", ["calculus", "algebra"])
+def test_readers_and_writer_interleave(backend):
+    store = build_store(backend)
+    store.enable_metrics()
+    title = next(iter(store.query(
+        "select s.title from a in Articles, s in a.sections")))
+
+    started = []                    # edit numbers, append BEFORE the edit
+    committed = []                  # edit numbers, append AFTER commit
+    done = threading.Event()
+    errors = []
+
+    def writer():
+        try:
+            for n in range(EDITS):
+                started.append(n)
+                store.update_text(title, f"Sentinel{n} Heading")
+                committed.append(n)
+                time.sleep(0.005)   # let readers interleave
+        except Exception as exc:    # pragma: no cover - fails the test
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def reader():
+        try:
+            while not done.is_set():
+                # static query: exercises concurrent cache hits
+                assert len(store.query(STATIC_QUERY)) == 3
+                # epoch ordering: only assert when the writer was idle
+                # for the whole query — every started edit had committed
+                # before we snapshotted, and none started while we ran
+                starts, commits = len(started), len(committed)
+                if commits == 0 or starts != commits:
+                    continue
+                latest = committed[commits - 1]
+                hits = store.query(SENTINEL_QUERY.format(n=latest))
+                if len(started) == starts:
+                    assert len(hits) == 1, latest
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(READERS)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+
+    # after the dust settles: the final edit is visible, exactly once
+    final = store.query(SENTINEL_QUERY.format(n=EDITS - 1))
+    assert len(final) == 1
+    assert store.text(next(iter(final))) == f"Sentinel{EDITS - 1} Heading"
+
+    # deterministic invalidation check: cache an entry at the current
+    # epoch, edit once more, and watch the stale entry get evicted
+    store.query(STATIC_QUERY)
+    store.update_text(title, "Post Stress Heading")
+    store.query(STATIC_QUERY)
+
+    counters = store.metrics()["counters"]
+    assert counters["cache.epoch_bumps"] >= EDITS + 1
+    assert counters["cache.invalidations"] >= 1
+    assert counters["cache.hits"] > 0
+    assert counters["cache.misses"] >= 1
+
+
+def test_concurrent_warmup_compiles_at_most_once_per_epoch():
+    """Many threads racing on a cold cache: results agree and the cache
+    ends with exactly one entry for the query."""
+    store = build_store("algebra")
+    store.plan_cache.clear()
+    results, errors = [], []
+    barrier = threading.Barrier(READERS)
+
+    def racer():
+        try:
+            barrier.wait(timeout=30)
+            results.append(store.query(STATIC_QUERY))
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=racer) for _ in range(READERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []
+    assert len(results) == READERS
+    assert all(r == results[0] for r in results)
+    assert len(store.plan_cache) == 1
+
+
+def test_prepared_handles_shared_across_threads():
+    store = build_store("algebra")
+    prepared = store.prepare(STATIC_QUERY)
+    errors = []
+
+    def runner():
+        try:
+            for _ in range(5):
+                assert len(prepared.run()) == 3
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner) for _ in range(READERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == []

@@ -1,0 +1,78 @@
+"""Plan cache × persistence: a reloaded store starts cold.
+
+Cached plans hold live oids and schema-resolved operators, so they
+must never travel through :meth:`DocumentStore.save`.  A reload gives
+a fresh cache at epoch 0, and metrics on the reloaded store count
+misses from zero.
+"""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+
+Q3 = "select t from my_article PATH_p.title(t)"
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    store = DocumentStore(ARTICLE_DTD, backend="algebra")
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    store.query(Q3)                        # warm the original's cache
+    assert len(store.plan_cache) == 1
+    path = tmp_path / "session.db"
+    store.save(path)
+    return store, path
+
+
+class TestReloadIsCold:
+    def test_fresh_cache_and_epoch_zero(self, saved):
+        store, path = saved
+        reloaded = DocumentStore.load(path)
+        assert len(reloaded.plan_cache) == 0
+        assert reloaded.epoch == 0
+        assert reloaded.stats()["plan_cache"]["entries"] == 0
+        # the caches are distinct objects with distinct lifecycles
+        assert reloaded.plan_cache is not store.plan_cache
+        assert len(store.plan_cache) == 1      # original untouched
+
+    def test_first_query_after_reload_is_a_miss(self, saved):
+        _, path = saved
+        reloaded = DocumentStore.load(path)
+        reloaded.enable_metrics()
+        result = reloaded.query(Q3)
+        assert len(result) == 3
+        counters = reloaded.metrics()["counters"]
+        assert counters["cache.misses"] == 1
+        assert "cache.hits" not in counters
+        reloaded.query(Q3)
+        assert reloaded.metrics()["counters"]["cache.hits"] == 1
+
+    def test_reloaded_results_match_warm_original(self, saved):
+        store, path = saved
+        reloaded = DocumentStore.load(path)
+        # oids are preserved by the snapshot, so even oid-valued
+        # results compare equal across the reload boundary
+        assert reloaded.query(Q3) == store.query(Q3)
+        assert reloaded.prepare(Q3).run() == store.query(Q3)
+
+    def test_mutations_after_reload_invalidate(self, saved):
+        _, path = saved
+        reloaded = DocumentStore.load(path)
+        reloaded.enable_metrics()
+        reloaded.query(Q3)
+        reloaded.load_text(SAMPLE_ARTICLE, name="second")
+        assert reloaded.epoch > 0
+        assert len(reloaded.query(Q3)) == 3
+        counters = reloaded.metrics()["counters"]
+        assert counters["cache.invalidations"] == 1
+        assert counters["cache.misses"] == 2
+
+    def test_save_is_not_a_mutation(self, saved, tmp_path):
+        store, _ = saved
+        epoch = store.epoch
+        store.save(tmp_path / "again.db")
+        assert store.epoch == epoch
+        store.enable_metrics()
+        store.query(Q3)
+        assert store.metrics()["counters"]["cache.hits"] == 1

@@ -1,0 +1,251 @@
+"""Counter-based proof that prepared queries skip the front end.
+
+The acceptance bar for the plan cache: the *second* execution of each
+of the paper's queries through ``prepare()`` does zero parse /
+translate / compile work.  We do not time anything — we assert on the
+span tree (no ``parse`` span on a warm run) and on the deterministic
+``cache.*`` counters.
+"""
+
+import pytest
+
+from repro import DocumentStore, PlanCache, PreparedQuery
+from repro.cache import normalize_query_text
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+
+Q1 = """
+    select tuple (t: a.title, f_author: first(a.authors))
+    from a in Articles, s in a.sections
+    where s.title contains ("SGML" and "OODBMS")
+"""
+Q2 = """
+    select ss
+    from a in Articles, s in a.sections, ss in s.subsectns
+    where ss contains ("complex object")
+"""
+Q3 = "select t from my_article PATH_p.title(t)"
+Q4 = "my_article PATH_p - my_old_article PATH_p"
+Q5 = """
+    select name(ATT_a)
+    from my_article PATH_p.ATT_a(val)
+    where val contains ("final")
+"""
+Q6 = """
+    select letter
+    from letter in Letters, letter[i].from, letter[j].to
+    where i < j
+"""
+
+PAPER_QUERIES = [Q1, Q2, Q3, Q4, Q5]
+
+FRONT_END = ["parse", "translate", "safety", "inference"]
+
+
+def build_store(backend):
+    store = DocumentStore(ARTICLE_DTD, backend=backend)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    store.load_text(SAMPLE_ARTICLE, name="my_old_article")
+    for tree in generate_corpus(6, seed=42):
+        store.load_tree(tree, validate=False)
+    return store
+
+
+class TestSecondRunDoesZeroFrontEndWork:
+    @pytest.mark.parametrize("backend", ["calculus", "algebra"])
+    @pytest.mark.parametrize("query", PAPER_QUERIES)
+    def test_warm_run_has_no_front_end_spans(self, backend, query):
+        store = build_store(backend)
+        prepared = store.prepare(query)          # compiles eagerly
+        cold = store.query(query)                # first execution: hit
+        report = store.explain_analyze(query)    # second: still a hit
+        names = report.trace.path_names()
+        for stage in FRONT_END + ["compile"]:
+            assert stage not in names, (backend, stage)
+        assert report.trace.attributes["plan_cache"] == "hit"
+        assert report.counter("cache.hits") == 1
+        assert report.counter("cache.misses") == 0
+        assert prepared.run() == cold
+
+    def test_q6_on_a_bare_engine(self):
+        from repro.corpus.letters import build_letters_database
+        from repro.o2sql import QueryEngine
+        engine = QueryEngine(build_letters_database())
+        prepared = engine.prepare(Q6)            # installs a cache
+        first = prepared.run()
+        before = len(engine.cache)
+        second = prepared.run()
+        assert first == second and len(first) == 3
+        assert len(engine.cache) == before       # no re-entry stored
+
+    @pytest.mark.parametrize("backend", ["calculus", "algebra"])
+    def test_cache_hit_counters_accumulate(self, backend):
+        store = build_store(backend)
+        store.enable_metrics()
+        for query in PAPER_QUERIES:
+            store.query(query)
+        counters = store.metrics()["counters"]
+        assert counters["cache.misses"] == len(PAPER_QUERIES)
+        assert "cache.hits" not in counters
+        for query in PAPER_QUERIES:
+            store.query(query)
+            store.query(query)
+        counters = store.metrics()["counters"]
+        assert counters["cache.misses"] == len(PAPER_QUERIES)
+        assert counters["cache.hits"] == 2 * len(PAPER_QUERIES)
+
+
+class TestPreparedHandle:
+    def test_prepare_compiles_eagerly(self):
+        store = build_store("algebra")
+        store.enable_metrics()
+        prepared = store.prepare(Q3)
+        assert store.metrics()["counters"]["cache.misses"] == 1
+        assert isinstance(prepared, PreparedQuery)
+        assert prepared.run() == store.query(Q3)
+        # prepare + both runs shared one compilation
+        counters = store.metrics()["counters"]
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 2
+
+    def test_handle_survives_epoch_bump(self):
+        store = build_store("algebra")
+        prepared = store.prepare(Q3)
+        three = prepared.run()
+        assert len(three) == 3
+        store.load_text(SAMPLE_ARTICLE, name="another")
+        # the handle transparently recompiles against the new epoch
+        after = prepared.run()
+        assert len(after) == 3
+        assert store.query("select t from another PATH_p.title(t)")
+
+    def test_algebra_plan_property(self):
+        store = build_store("algebra")
+        prepared = store.prepare(Q3)
+        assert prepared.plan is not None
+        assert prepared.calculus is not None
+
+    def test_explain_analyze_on_handle_is_warm(self):
+        store = build_store("algebra")
+        prepared = store.prepare(Q3)
+        report = prepared.explain_analyze()
+        assert report.trace.path_names() == ["execute"]
+
+
+class TestEpochInvalidation:
+    @pytest.mark.parametrize("backend", ["calculus", "algebra"])
+    def test_update_text_forces_recompile(self, backend):
+        """An edit bumps the epoch, so the next run of an index-backed
+        plan recompiles (one fresh miss) and re-probes the new index
+        postings instead of serving memoized stale candidates."""
+        store = build_store(backend)
+        store.build_text_index()
+        query = ('select s.title from a in Articles, s in a.sections '
+                 'where s.title contains ("Zanzibar")')
+        store.enable_metrics()
+        assert len(store.query(query)) == 0
+        assert len(store.query(query)) == 0      # warm: a hit
+        counters = store.metrics()["counters"]
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        epoch_before = store.epoch
+        title_oid = next(iter(store.query(
+            "select s.title from a in Articles, s in a.sections")))
+        store.update_text(title_oid, "Zanzibar Section")
+        assert store.epoch > epoch_before
+        hits = store.query(query)                # stale entry → miss
+        assert len(hits) == 1
+        counters = store.metrics()["counters"]
+        assert counters["cache.invalidations"] >= 1
+        assert counters["cache.epoch_bumps"] >= 1
+
+    def test_loads_and_define_name_bump_epoch(self):
+        store = DocumentStore(ARTICLE_DTD)
+        assert store.epoch == 0
+        store.load_text(SAMPLE_ARTICLE)               # anonymous load
+        after_load = store.epoch
+        assert after_load > 0
+        store.load_text(SAMPLE_ARTICLE, name="named")
+        assert store.epoch > after_load               # load + name
+
+    def test_new_epoch_entry_replaces_stale_one(self):
+        store = build_store("algebra")
+        store.query(Q3)
+        assert len(store.plan_cache) == 1
+        store.load_text(SAMPLE_ARTICLE, name="extra")
+        store.query(Q3)                               # recompile
+        assert len(store.plan_cache) == 1             # replaced, not added
+        entry_key = store.plan_cache.key_for(
+            Q3, "algebra", store._engine.ctx.path_semantics)
+        assert store.plan_cache.lookup(entry_key) is not None
+
+
+class TestQueryMany:
+    def test_batch_results_match_singles_in_order(self):
+        store = build_store("algebra")
+        batch = store.query_many(PAPER_QUERIES)
+        singles = [store.query(q) for q in PAPER_QUERIES]
+        assert batch == singles
+
+    def test_duplicate_texts_compile_once(self):
+        store = build_store("algebra")
+        store.enable_metrics()
+        variants = [Q3, "  " + Q3 + "  ",
+                    "select t   from my_article PATH_p.title(t)",
+                    Q3 + " -- trailing comment"]
+        results = store.query_many(variants)
+        assert len({len(r) for r in results}) == 1
+        assert store.metrics()["counters"]["cache.misses"] == 1
+
+
+class TestNormalization:
+    def test_whitespace_and_comments_collapse(self):
+        a = normalize_query_text("select  t\nfrom x -- note\n where y")
+        b = normalize_query_text("select t from x where y")
+        assert a == b
+
+    def test_string_literals_are_preserved(self):
+        q = 'select x from y where x contains ("two  spaces")'
+        assert '"two  spaces"' in normalize_query_text(q)
+        assert normalize_query_text(q) != normalize_query_text(
+            'select x from y where x contains ("two spaces")')
+
+    def test_comment_marker_inside_literal_survives(self):
+        q = 'select x from y where x contains ("a -- b")'
+        assert '"a -- b"' in normalize_query_text(q)
+
+    def test_distinct_texts_share_one_cache_entry(self):
+        store = build_store("calculus")
+        store.query(Q3)
+        store.query("select t from   my_article PATH_p.title(t)")
+        store.query(Q3 + "\n-- same query")
+        assert len(store.plan_cache) == 1
+
+
+class TestCacheMechanics:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        from repro.cache.plancache import CachedArtifacts
+        entries = {}
+        for name in ("a", "b", "c"):
+            key = (name, "algebra", "restricted", True)
+            entries[name] = CachedArtifacts(
+                query=name, plan=None, epoch=0, key=key)
+            cache.store(key, entries[name])
+        assert len(cache) == 2
+        assert cache.lookup(("a", "algebra", "restricted", True)) is None
+        assert cache.lookup(("c", "algebra", "restricted", True)) \
+            is entries["c"]
+
+    def test_stats_shape(self):
+        store = build_store("algebra")
+        store.query(Q3)
+        stats = store.stats()
+        assert stats["plan_cache"]["entries"] == 1
+        assert stats["plan_cache"]["capacity"] == 256
+        assert stats["epoch"] == stats["plan_cache"]["epoch"]
+
+    def test_backends_do_not_share_entries(self):
+        key_a = PlanCache.key_for(Q3, "algebra", "restricted")
+        key_c = PlanCache.key_for(Q3, "calculus", "restricted")
+        assert key_a != key_c

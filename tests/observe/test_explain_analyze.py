@@ -57,6 +57,8 @@ class TestAlgebraReport:
         assert report.counter("algebra.union_fanout") == 14
 
     def test_stage_span_tree(self, algebra_store):
+        # cold: a cleared plan cache records every pipeline stage
+        algebra_store.plan_cache.clear()
         report = algebra_store.explain_analyze(Q3)
         root = report.trace
         assert root.name == "query"
@@ -67,6 +69,17 @@ class TestAlgebraReport:
         compile_span = root.child("compile")
         assert compile_span.attributes["unions"] == 1
         assert compile_span.attributes["operators"] > 1
+        assert root.attributes["rows"] == 3
+        assert root.attributes["plan_cache"] == "miss"
+
+    def test_warm_span_tree_is_execute_only(self, algebra_store):
+        # warm: the cached front end leaves no parse/compile spans
+        algebra_store.query(Q3)
+        report = algebra_store.explain_analyze(Q3)
+        root = report.trace
+        assert root.path_names() == ["execute"]
+        assert root.attributes["plan_cache"] == "hit"
+        assert report.counter("cache.hits") == 1
         assert root.attributes["rows"] == 3
 
     def test_render_is_an_indented_tree(self, algebra_store):
@@ -89,6 +102,7 @@ class TestAlgebraReport:
 
 class TestCalculusReport:
     def test_no_plan_but_spans_and_counters(self, calculus_store):
+        calculus_store.plan_cache.clear()
         report = calculus_store.explain_analyze(Q3)
         assert report.backend == "calculus"
         assert report.plan is None
@@ -110,6 +124,7 @@ class TestCalculusReport:
         assert report.counter("oodb.derefs") > 0
 
     def test_repeated_runs_give_identical_counters(self, calculus_store):
+        calculus_store.query(Q3)  # warm the plan cache
         first = calculus_store.explain_analyze(Q3)
         second = calculus_store.explain_analyze(Q3)
         assert first.metrics["counters"] == second.metrics["counters"]

@@ -1,5 +1,7 @@
 """Tests for the positional inverted index."""
 
+import pytest
+
 from repro.text import TextIndex, parse_pattern_expr
 from repro.text.patterns import Pattern
 
@@ -45,6 +47,100 @@ class TestBasicProbes:
         # incremental adds concatenate the token stream, so a phrase may
         # span the boundary — documented behaviour
         assert index.keys_for_pattern(Pattern("part second")) == {"d"}
+
+
+class TestRemoveReplace:
+    def test_remove_drops_all_postings(self):
+        index = build_index()
+        removed = index.remove("d3")
+        assert removed > 0
+        assert index.document_count == 3
+        assert index.keys_with_word("SGML") == {"d1"}
+        assert index.keys_with_word("OODBMS") == {"d2"}
+        # a token unique to d3 disappears from the vocabulary entirely
+        assert "meets" not in set(index.vocabulary())
+
+    def test_remove_unknown_key_is_a_noop(self):
+        index = build_index()
+        vocab_before = index.vocabulary_size
+        assert index.remove("ghost") == 0
+        assert index.document_count == 4
+        assert index.vocabulary_size == vocab_before
+
+    def test_replace_reflects_only_new_text(self):
+        index = build_index()
+        index.replace("d1", "a fresh revision about XML")
+        assert index.keys_with_word("SGML") == {"d3"}
+        assert index.keys_with_word("XML") == {"d1"}
+        # positions restart at zero, so phrases in the new text match
+        assert index.keys_for_pattern(Pattern("fresh revision")) == {"d1"}
+        assert index.document_count == 4
+
+    def test_replace_counts_in_metrics(self):
+        from repro.observe import MetricsRegistry
+        index = build_index()
+        index.metrics = MetricsRegistry()
+        index.replace("d2", "new words")
+        index.remove("d4")
+        counters = index.metrics.snapshot()["counters"]
+        assert counters["text.reindexed"] == 1
+        assert counters["text.removals"] == 2  # one inside replace
+
+
+class TestSessionIndexMaintenance:
+    """Regression: ``update_text`` must keep a built index current.
+
+    Before the fix, the index kept the *old* tokens for the edited
+    object (and its ancestors), so index-backed ``contains`` queries
+    returned stale results after an in-database edit.
+    """
+
+    @pytest.fixture()
+    def store(self):
+        from repro import DocumentStore
+        from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+        store = DocumentStore(ARTICLE_DTD, backend="algebra")
+        store.load_text(SAMPLE_ARTICLE, name="my_article")
+        store.build_text_index()
+        return store
+
+    def edit_first_title(self, store, new_text):
+        title_oid = next(iter(store.query(
+            "select s.title from a in Articles, s in a.sections")))
+        store.update_text(title_oid, new_text)
+        return title_oid
+
+    def test_edited_object_is_reindexed(self, store):
+        oid = self.edit_first_title(store, "Fresh Zanzibar Heading")
+        assert oid in store.text_index.keys_with_word("Zanzibar")
+
+    def test_contains_query_sees_the_edit(self, store):
+        query = ('select s.title from a in Articles, s in a.sections '
+                 'where s.title contains ("Zanzibar")')
+        assert len(store.query(query)) == 0
+        self.edit_first_title(store, "Zanzibar Section")
+        hits = store.query(query)
+        assert len(hits) == 1
+        assert store.text(next(iter(hits))) == "Zanzibar Section"
+
+    def test_old_tokens_no_longer_match(self, store):
+        query = ('select s.title from a in Articles, s in a.sections '
+                 'where s.title contains ("{word}")')
+        old_title = store.text(next(iter(store.query(
+            "select s.title from a in Articles, s in a.sections"))))
+        old_word = old_title.split()[0]
+        assert len(store.query(query.format(word=old_word))) > 0
+        self.edit_first_title(store, "Completely Different")
+        assert len(store.query(query.format(word=old_word))) == 0
+
+    def test_ancestors_are_reindexed_too(self, store):
+        # the article's own text embeds every descendant's character
+        # data, so an edit deep in the tree must be visible at the root
+        query = ('select a from a in Articles '
+                 'where a contains ("Zanzibar")')
+        assert len(store.query(query)) == 0
+        self.edit_first_title(store, "Zanzibar Section")
+        assert len(store.query(query)) == 1
 
 
 class TestCandidates:
