@@ -32,6 +32,49 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.bench)
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one ``BENCH_P<n>.json`` per experiment after a benchmark
+    run — name, median, rounds/iterations, and corpus sizes — so CI can
+    archive machine-readable results next to the rendered table."""
+    import json
+    import os
+    import re
+
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_tag: dict = {}
+    for bench in bench_session.benchmarks:
+        if bench.has_error:
+            continue
+        match = re.search(r"bench_(p\d+)", bench.fullname)
+        tag = match.group(1).upper() if match else "MISC"
+        by_tag.setdefault(tag, []).append({
+            "name": bench.name,
+            "median_seconds": bench.stats.median,
+            "rounds": bench.stats.rounds,
+            "iterations": bench.iterations,
+            "params": bench.params,
+            "extra_info": dict(bench.extra_info),
+        })
+    here = os.path.dirname(os.path.abspath(__file__))
+    out_dir = os.environ.get(
+        "BENCH_RESULTS_DIR",
+        os.path.join(os.path.dirname(here), "bench_results"))
+    os.makedirs(out_dir, exist_ok=True)
+    for tag, entries in sorted(by_tag.items()):
+        path = os.path.join(out_dir, f"BENCH_{tag}.json")
+        payload = {
+            "experiment": tag,
+            "corpus_sizes": list(CORPUS_SIZES),
+            "benchmarks": sorted(entries, key=lambda e: e["name"]),
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"[bench] wrote {path} ({len(entries)} benchmarks)")
+
+
 @pytest.fixture(scope="session")
 def figure2_store():
     store = DocumentStore(ARTICLE_DTD)

@@ -13,7 +13,9 @@ attribute or path variables**.
 * :mod:`repro.algebra.compile` — calculus → algebra, including the
   schema-driven variable elimination,
 * :mod:`repro.algebra.optimizer` — rewrites (full-text index
-  utilisation for ``contains``),
+  utilisation for ``contains``, selection pushdown, and the
+  common-prefix factoring that turns union-of-plans trees into
+  shared-work DAGs),
 * :mod:`repro.algebra.execute` — plan interpreter.
 
 The restricted path semantics is required: under the liberal semantics
@@ -33,14 +35,16 @@ from repro.algebra.operators import (
     ProjectOp,
     SeedOp,
     SelectOp,
+    SharedOp,
     StepOp,
     UnionOp,
     UnnestOp,
 )
-from repro.algebra.optimizer import optimize
+from repro.algebra.optimizer import factor_shared_prefixes, optimize
 
 __all__ = [
     "BindOp", "FormulaOp", "IndexFilterOp", "MakePathOp", "NegationOp",
-    "Operator", "ProjectOp", "SeedOp", "SelectOp", "StepOp", "UnionOp",
-    "UnnestOp", "compile_query", "execute_plan", "optimize",
+    "Operator", "ProjectOp", "SeedOp", "SelectOp", "SharedOp", "StepOp",
+    "UnionOp", "UnnestOp", "compile_query", "execute_plan",
+    "factor_shared_prefixes", "optimize",
 ]

@@ -116,7 +116,11 @@ def compile_query(query: Query, schema: Schema,
     while isinstance(formula, Exists):
         formula = formula.body
     plan = compiler.compile_formula(SeedOp(), formula, set())
-    return ProjectOp(plan, list(query.head))
+    project = ProjectOp(plan, list(query.head))
+    # candidate types per variable, for type-aware optimizer rewrites
+    # (e.g. the oid-only pruning flag on index filters)
+    project.var_types = dict(compiler.candidates)
+    return project
 
 
 class _Compiler:
@@ -432,46 +436,61 @@ class _Compiler:
             residual = PathAtom(current, PathTerm([component,
                                                    Bind(out)]))
             return [(FormulaOp(plan, residual), out, [], bound)]
-        entries = []
+        # Candidate valuations in enumeration order, deduplicated at the
+        # historical one-branch-per-(steps, target) granularity.
+        ordered: list = []
         seen_signatures: set = set()
         for tp in types:
             for schema_path in enumerate_schema_paths(self.schema, tp):
-                signature = (tuple(str(s) for s in schema_path.steps),
-                             schema_path.target)
+                rendered = tuple(str(s) for s in schema_path.steps)
+                signature = (rendered, schema_path.target)
                 if signature in seen_signatures:
                     continue
                 seen_signatures.add(signature)
-                branch_plan = plan
-                cursor = current
-                template: list[tuple] = []
-                for step in schema_path.steps:
+                ordered.append((schema_path, rendered))
+        # Candidate paths sharing a prefix share its *operators and
+        # fresh variables*: the chains are built over a step trie, so
+        # the branches of the resulting UnionOp already form a DAG and
+        # the optimizer's factoring pass can merge the common prefixes
+        # into SharedOp nodes instead of re-walking them per branch.
+        trie: dict[tuple, tuple] = {(): (plan, current, [])}
+        leaves: dict[tuple, MakePathOp] = {}
+        entries = []
+        for schema_path, rendered in ordered:
+            prefix: tuple = ()
+            for step, step_key in zip(schema_path.steps, rendered):
+                key = prefix + (step_key,)
+                if key not in trie:
+                    parent, cursor, template = trie[prefix]
                     out = self.fresh_var()
                     if isinstance(step, SchemaAttr):
-                        branch_plan = StepOp(branch_plan, cursor, "attr",
-                                             step.name, out)
-                        template.append(("attr", step.name))
+                        node = StepOp(parent, cursor, "attr",
+                                      step.name, out)
+                        added = ("attr", step.name)
                     elif isinstance(step, SchemaIndex):
                         position = self.fresh_var("pos")
-                        branch_plan = UnnestOp(branch_plan, cursor, out,
-                                               index_var=position,
-                                               mode="positions")
-                        template.append(("index_from", position))
+                        node = UnnestOp(parent, cursor, out,
+                                        index_var=position,
+                                        mode="positions")
+                        added = ("index_from", position)
                     elif isinstance(step, SchemaElem):
-                        branch_plan = UnnestOp(branch_plan, cursor, out,
-                                               mode="set")
-                        template.append(("elem_from", out))
+                        node = UnnestOp(parent, cursor, out, mode="set")
+                        added = ("elem_from", out)
                     elif isinstance(step, SchemaDeref):
-                        branch_plan = StepOp(branch_plan, cursor,
-                                             "deref", None, out)
-                        template.append(("deref",))
+                        node = StepOp(parent, cursor, "deref", None, out)
+                        added = ("deref",)
                     else:  # pragma: no cover
                         raise CompilationError(
                             f"unknown schema step {step!r}")
-                    cursor = out
-                branch_plan = MakePathOp(branch_plan, template, component)
-                entries.append((branch_plan, cursor,
-                                [schema_path.target],
-                                bound | {component}))
+                    trie[key] = (node, out, template + [added])
+                prefix = key
+            branch_plan, cursor, template = trie[prefix]
+            leaf = leaves.get(prefix)
+            if leaf is None:
+                leaf = MakePathOp(branch_plan, list(template), component)
+                leaves[prefix] = leaf
+            entries.append((leaf, cursor, [schema_path.target],
+                            bound | {component}))
         return entries
 
 

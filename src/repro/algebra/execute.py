@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.errors import SafetyError
 from repro.calculus.evaluator import EvalContext
 from repro.oodb.values import SetValue, TupleValue
@@ -10,31 +12,79 @@ from repro.algebra.operators import Operator, ProjectOp
 
 def execute_plan(plan: ProjectOp, ctx: EvalContext) -> SetValue:
     """Run a compiled plan; the result shape matches
-    :func:`repro.calculus.evaluator.evaluate_query`."""
+    :func:`repro.calculus.evaluator.evaluate_query`.
+
+    The call owns the lifetime of the shared-subplan memo: a factored
+    (DAG-shaped) plan computes each :class:`SharedOp` stream once per
+    ``execute_plan`` call, and the memo is dropped afterwards so cached
+    plans re-read current data on their next run.
+    """
     if not isinstance(plan, ProjectOp):
         raise SafetyError("a plan must be rooted at a ProjectOp")
     head = plan.head
     results = []
     seen: set = set()
-    for row in plan.rows(ctx):
-        if len(head) == 1:
-            value = row[head[0]]
-        else:
-            value = TupleValue([(str(variable), row[variable])
-                                for variable in head])
-        if value not in seen:
-            seen.add(value)
-            results.append(value)
+    unhashable: list = []
+    # nested execute_plan calls (a FormulaOp falling back into a
+    # sub-plan) reuse the outer run's memo
+    owns_memo = getattr(ctx, "shared_memo", None) is None
+    if owns_memo:
+        ctx.shared_memo = {}
+    try:
+        for row in plan.rows(ctx):
+            if len(head) == 1:
+                value = row[head[0]]
+            else:
+                value = TupleValue([(str(variable), row[variable])
+                                    for variable in head])
+            try:
+                duplicate = value in seen
+            except TypeError:
+                # unhashable result value: equality-scan fallback
+                duplicate = any(value == prior for prior in unhashable)
+                if not duplicate:
+                    unhashable.append(value)
+            else:
+                if not duplicate:
+                    seen.add(value)
+            if not duplicate:
+                results.append(value)
+    finally:
+        if owns_memo:
+            ctx.shared_memo = None
     return SetValue(results)
 
 
+def _walk_once(plan: Operator) -> Iterator[Operator]:
+    """Every distinct operator in the plan DAG, once — shared subplans
+    are not re-visited through their other consumers."""
+    seen: set[int] = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node.children())
+
+
 def plan_size(plan: Operator) -> int:
-    """Number of operators in the plan tree (for tests/benchmarks)."""
-    return 1 + sum(plan_size(child) for child in plan.children())
+    """Number of distinct operators in the plan DAG (for
+    tests/benchmarks); a shared subplan counts once."""
+    return sum(1 for _ in _walk_once(plan))
 
 
 def count_unions(plan: Operator) -> int:
-    """Number of UnionOp nodes (the variable-elimination fan-out)."""
+    """Number of distinct UnionOp nodes (the variable-elimination
+    fan-out)."""
     from repro.algebra.operators import UnionOp
-    own = 1 if isinstance(plan, UnionOp) else 0
-    return own + sum(count_unions(child) for child in plan.children())
+    return sum(1 for node in _walk_once(plan)
+               if isinstance(node, UnionOp))
+
+
+def count_shared(plan: Operator) -> int:
+    """Number of SharedOp nodes (the factoring's merge points)."""
+    from repro.algebra.operators import SharedOp
+    return sum(1 for node in _walk_once(plan)
+               if isinstance(node, SharedOp))

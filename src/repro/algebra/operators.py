@@ -17,6 +17,10 @@ additions:
   results);
 * :class:`UnionOp` — the union of variable-free plans that a
   path/attribute variable compiles into;
+* :class:`SharedOp` — a materialized subplan referenced by several
+  union branches (the optimizer's common-prefix factoring turns the
+  plan *tree* into a DAG; rows are computed once per execution and
+  replayed to every other consumer);
 * :class:`NegationOp` / :class:`FormulaOp` — boolean combination with
   (⋆)-form subplans, realised by delegating the residual formula to the
   calculus interpreter per row (the paper's "boolean combination of
@@ -383,18 +387,47 @@ class FormulaOp(Operator):
 
 
 class UnionOp(Operator):
-    """Union of alternative plans (the (⋆)-elimination product)."""
+    """Union of alternative plans (the (⋆)-elimination product).
+
+    Before a branch runs, its index probes are consulted: a branch
+    gated by an :class:`IndexFilterOp` whose candidate set is *empty*
+    cannot yield a row, so the branch is skipped without touching the
+    store (``algebra.branches_pruned``).  Only oid-covered filters
+    participate — see :attr:`IndexFilterOp.oid_only`.
+    """
 
     def __init__(self, branches: list[Operator]) -> None:
         if not branches:
             raise CompilationError("union of zero plans")
         self.branches = branches
+        # branch -> gating IndexFilterOps, computed on first execution
+        # (the plan is immutable by then; recomputation is benign)
+        self._branch_probes: list[list[IndexFilterOp]] | None = None
+
+    def _probes(self) -> list[list["IndexFilterOp"]]:
+        probes = self._branch_probes
+        if probes is None:
+            probes = [_gating_index_filters(branch)
+                      for branch in self.branches]
+            self._branch_probes = probes
+        return probes
 
     def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
-        if ctx.metrics is not None:
+        metrics = ctx.metrics
+        if metrics is not None:
             # the (⋆)-elimination fan-out of Section 5.4, per execution
-            ctx.metrics.inc("algebra.union_fanout", len(self.branches))
-        for branch in self.branches:
+            metrics.inc("algebra.union_fanout", len(self.branches))
+        for branch, probes in zip(self.branches, self._probes()):
+            pruned = False
+            for probe in probes:
+                candidates = probe.candidate_set(ctx)
+                if candidates is not None and not candidates:
+                    pruned = True
+                    break
+            if pruned:
+                if metrics is not None:
+                    metrics.inc("algebra.branches_pruned")
+                continue
             yield from branch.rows(ctx)
 
     def children(self) -> list[Operator]:
@@ -405,6 +438,80 @@ class UnionOp(Operator):
         for branch in self.branches:
             lines.append(branch.describe(indent + 1))
         return "\n".join(lines)
+
+
+def _gating_index_filters(branch: Operator) -> list["IndexFilterOp"]:
+    """The oid-covered IndexFilterOps every row of ``branch`` must pass.
+
+    Walks the branch spine (through shared nodes) but not into nested
+    unions — those prune their own branches.
+    """
+    found: list[IndexFilterOp] = []
+    stack = [branch]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, UnionOp):
+            continue
+        if isinstance(node, IndexFilterOp) and node.oid_only:
+            found.append(node)
+        stack.extend(node.children())
+    return found
+
+
+class SharedOp(Operator):
+    """A subplan referenced by several consumers — the DAG node the
+    optimizer's common-prefix factoring introduces.
+
+    The first consumer in an execution streams the child and records
+    the rows; later consumers replay the recorded stream
+    (``algebra.subplan_hits`` / ``algebra.rows_saved``).  The memo
+    table is **per execution**: :func:`repro.algebra.execute.execute_plan`
+    installs ``ctx.shared_memo`` for the duration of one run, so a plan
+    cached across epochs (PR 2) never replays stale rows and concurrent
+    runs never share state.  Replaying the same binding dicts is safe
+    because operators extend rows by copying, never in place.
+    """
+
+    def __init__(self, child: Operator, ref_count: int = 1,
+                 shared_id: int = 0) -> None:
+        self.child = child
+        #: number of consumers in the factored plan (display only)
+        self.ref_count = ref_count
+        #: 1-based label shown in plan renderings (``Shared[2] ×3``)
+        self.shared_id = shared_id
+
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        memo = getattr(ctx, "shared_memo", None)
+        if memo is None:
+            # bare execution outside execute_plan: no memo, stream through
+            yield from self.child.rows(ctx)
+            return
+        metrics = ctx.metrics
+        cached = memo.get(id(self))
+        if cached is not None:
+            if metrics is not None:
+                metrics.inc("algebra.subplan_hits")
+                metrics.inc("algebra.rows_saved", len(cached))
+            yield from cached
+            return
+        if metrics is not None:
+            metrics.inc("algebra.subplan_misses")
+        rows: list[Binding] = []
+        for row in self.child.rows(ctx):
+            rows.append(row)
+            yield row
+        # publish only complete streams: an abandoned generator leaves no
+        # entry, so the next consumer recomputes instead of replaying a
+        # truncated prefix
+        memo[id(self)] = rows
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent)
+                + f"Shared[{self.shared_id}] ×{self.ref_count}\n"
+                + self.child.describe(indent + 1))
 
 
 _NO_CANDIDATES = object()  # "probe not yet run" (None = "no pruning")
@@ -419,20 +526,37 @@ class IndexFilterOp(Operator):
     sound because a plan never outlives its compilation epoch: the plan
     cache recompiles after any data change, so a fresh plan re-probes
     the (incrementally maintained) index.
+
+    ``oid_only`` records a compile-time fact: every value the filtered
+    variable can bind is an oid (all candidate types are classes).
+    Oids are exactly what the index covers, so under ``oid_only`` an
+    *empty* candidate set means the filter passes nothing — which lets
+    :class:`UnionOp` skip the whole branch before it runs.
     """
 
     def __init__(self, child: Operator, variable, pattern,
-                 recheck_atom) -> None:
+                 recheck_atom, oid_only: bool = False) -> None:
         self.child = child
         self.variable = variable
         self.pattern = pattern
         self.recheck_atom = recheck_atom
+        self.oid_only = oid_only
         self._candidates = _NO_CANDIDATES
+
+    def candidate_set(self, ctx: EvalContext):
+        """The memoized index probe (``None`` = no index or no pruning
+        possible; see :meth:`repro.text.TextIndex.candidates`)."""
+        index = getattr(ctx, "text_index", None)
+        if index is None:
+            return None
+        if self._candidates is _NO_CANDIDATES:
+            self._candidates = index.candidates(self.pattern)
+        return self._candidates
 
     def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         metrics = ctx.metrics
-        index = getattr(ctx, "text_index", None)
-        if index is None:
+        candidates = self.candidate_set(ctx)
+        if getattr(ctx, "text_index", None) is None:
             # no index available: behave like a plain select
             for row in self.child.rows(ctx):
                 if metrics is not None:
@@ -441,9 +565,6 @@ class IndexFilterOp(Operator):
                     yield row
                     break
             return
-        if self._candidates is _NO_CANDIDATES:
-            self._candidates = index.candidates(self.pattern)
-        candidates = self._candidates
         for row in self.child.rows(ctx):
             value = row.get(self.variable)
             if candidates is not None and isinstance(value, Oid):

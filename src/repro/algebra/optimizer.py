@@ -1,30 +1,43 @@
 """Plan rewriting (the Section 4.1 / 6 "optimization is crucial" hook).
 
-Two rewrites are implemented:
+Three rewrites are implemented:
 
 * **full-text index utilisation** — a :class:`SelectOp` whose atom is
   ``contains(X, <constant pattern>)`` on a variable becomes an
   :class:`IndexFilterOp`: candidate oids come from the inverted index,
   the exact predicate re-checks survivors only.  Non-candidates skip the
-  expensive ``text()`` reconstruction entirely (experiment P1).
+  expensive ``text()`` reconstruction entirely (experiment P1).  When
+  the filtered variable can only bind oids (every candidate type is a
+  class), the filter is flagged ``oid_only`` so an empty candidate set
+  can prune a whole union branch before it runs.
 * **selection pushdown** — a ground :class:`SelectOp` sitting above an
   operator that does not bind any of the atom's variables commutes below
   it, shrinking intermediate streams.
+* **common-prefix factoring** — the union-of-plans elimination of
+  Section 5.4 produces branches with long identical prefixes (the same
+  class-extent scan, the same leading navigation steps).  The final
+  pass structurally hashes every subtree and merges equal ones into a
+  single :class:`SharedOp`, turning the plan tree into a DAG whose
+  shared streams execute once per run (experiment P7).
 """
 
 from __future__ import annotations
 
 from repro.calculus.formulas import Pred
 from repro.calculus.terms import Const, DataVar
+from repro.oodb.types import ClassType
 from repro.text.patterns import PatternExpr
 from repro.algebra.operators import (
     BindOp,
+    FormulaOp,
     IndexFilterOp,
     MakePathOp,
     NegationOp,
     Operator,
     ProjectOp,
+    SeedOp,
     SelectOp,
+    SharedOp,
     StepOp,
     UnionOp,
     UnnestOp,
@@ -32,24 +45,31 @@ from repro.algebra.operators import (
 
 
 def optimize(plan: Operator, use_text_index: bool = True,
-             pushdown: bool = True) -> Operator:
+             pushdown: bool = True, factor: bool = True) -> Operator:
     """Return a rewritten plan (the input is not mutated)."""
-    plan = _rewrite(plan, use_text_index)
+    var_types = getattr(plan, "var_types", None) or {}
+    plan = _rewrite(plan, use_text_index, var_types)
     if pushdown:
         plan = _pushdown(plan)
+    if factor:
+        plan = factor_shared_prefixes(plan)
     return plan
 
 
-def _rewrite(plan: Operator, use_text_index: bool) -> Operator:
-    plan = _rebuild(plan, lambda child: _rewrite(child, use_text_index))
+def _rewrite(plan: Operator, use_text_index: bool,
+             var_types: dict) -> Operator:
+    plan = _rebuild(plan,
+                    lambda child: _rewrite(child, use_text_index,
+                                           var_types))
     if use_text_index and isinstance(plan, SelectOp):
-        replacement = _try_index_filter(plan)
+        replacement = _try_index_filter(plan, var_types)
         if replacement is not None:
             return replacement
     return plan
 
 
-def _try_index_filter(select: SelectOp) -> IndexFilterOp | None:
+def _try_index_filter(select: SelectOp,
+                      var_types: dict) -> IndexFilterOp | None:
     atom = select.atom
     if not (isinstance(atom, Pred) and atom.predicate == "contains"
             and len(atom.arguments) == 2):
@@ -60,7 +80,13 @@ def _try_index_filter(select: SelectOp) -> IndexFilterOp | None:
     if not (isinstance(pattern_term, Const)
             and isinstance(pattern_term.value, PatternExpr)):
         return None
-    return IndexFilterOp(select.child, subject, pattern_term.value, atom)
+    types = var_types.get(subject) or []
+    # every candidate type a class ⇒ the variable only binds oids ⇒ an
+    # empty index candidate set proves the filter passes nothing
+    oid_only = bool(types) and all(isinstance(tp, ClassType)
+                                   for tp in types)
+    return IndexFilterOp(select.child, subject, pattern_term.value, atom,
+                         oid_only=oid_only)
 
 
 def _pushdown(plan: Operator) -> Operator:
@@ -117,7 +143,8 @@ def _produced_vars(operator: Operator) -> set:
 def _clone_filter(select, new_child: Operator):
     if isinstance(select, IndexFilterOp):
         return IndexFilterOp(new_child, select.variable, select.pattern,
-                             select.recheck_atom)
+                             select.recheck_atom,
+                             oid_only=select.oid_only)
     return SelectOp(new_child, select.atom)
 
 
@@ -140,21 +167,166 @@ def _rebuild_single_child(operator: Operator,
 def _rebuild(plan: Operator, transform) -> Operator:
     """Apply ``transform`` to children, reconstructing the node."""
     if isinstance(plan, ProjectOp):
-        return ProjectOp(transform(plan.child), plan.head)
+        rebuilt = ProjectOp(transform(plan.child), plan.head)
+        rebuilt.var_types = getattr(plan, "var_types", None)
+        return rebuilt
     if isinstance(plan, SelectOp):
         return SelectOp(transform(plan.child), plan.atom)
     if isinstance(plan, IndexFilterOp):
         return IndexFilterOp(transform(plan.child), plan.variable,
-                             plan.pattern, plan.recheck_atom)
+                             plan.pattern, plan.recheck_atom,
+                             oid_only=plan.oid_only)
     if isinstance(plan, NegationOp):
         return NegationOp(transform(plan.child), plan.formula)
     if isinstance(plan, UnionOp):
         return UnionOp([transform(branch) for branch in plan.branches])
+    if isinstance(plan, SharedOp):
+        return SharedOp(transform(plan.child), plan.ref_count,
+                        plan.shared_id)
     if isinstance(plan, (BindOp, StepOp, UnnestOp, MakePathOp)):
         return _rebuild_single_child(plan, transform(plan.child))
-    from repro.algebra.operators import FormulaOp, SeedOp
     if isinstance(plan, FormulaOp):
         return FormulaOp(transform(plan.child), plan.formula)
     if isinstance(plan, SeedOp):
         return plan
     return plan
+
+
+# -- common-prefix factoring ------------------------------------------------
+
+
+def factor_shared_prefixes(plan: Operator) -> Operator:
+    """Merge structurally identical subplans into :class:`SharedOp`
+    nodes, turning the plan tree into a DAG.
+
+    Every node gets a structural key ``(class, parameters, child
+    keys)``; equal keys ⇒ equal subplans.  Parameters compare by object
+    *identity*, not by printed form: the compiler's trie sharing and the
+    pushdown's cloning reuse the same term/variable objects, so clones
+    of the same compiled fragment merge while coincidentally
+    similar-looking fragments (which would carry distinct fresh
+    variables) never do — a merge cannot change semantics.
+
+    A subplan referenced at least twice is wrapped in one
+    :class:`SharedOp`; seeds and existing SharedOps are left alone.
+    """
+    interned: dict[tuple, int] = {}
+    key_of: dict[int, int] = {}          # id(node) -> structural key
+    canonical: dict[int, Operator] = {}  # key -> first node seen
+
+    def intern(node: Operator) -> int:
+        found = key_of.get(id(node))
+        if found is not None:
+            return found
+        child_keys = tuple(intern(child) for child in node.children())
+        raw = (type(node).__name__, _params_of(node), child_keys)
+        key = interned.setdefault(raw, len(interned))
+        key_of[id(node)] = key
+        canonical.setdefault(key, node)
+        return key
+
+    root_key = intern(plan)
+
+    # reference counts over the canonical DAG (a node consumed twice by
+    # the same parent — duplicate union branches — counts twice)
+    refs: dict[int, int] = {}
+    visited: set[int] = set()
+    stack = [root_key]
+    while stack:
+        key = stack.pop()
+        if key in visited:
+            continue
+        visited.add(key)
+        for child in canonical[key].children():
+            child_key = key_of[id(child)]
+            refs[child_key] = refs.get(child_key, 0) + 1
+            stack.append(child_key)
+
+    built: dict[int, Operator] = {}
+    wrappers: dict[int, SharedOp] = {}
+    counter = [0]
+
+    def build(key: int) -> Operator:
+        done = built.get(key)
+        if done is None:
+            node = canonical[key]
+            children = [resolve(child) for child in node.children()]
+            if children == node.children():  # identity: nothing changed
+                done = node
+            else:
+                done = _with_children(node, children)
+            built[key] = done
+        return done
+
+    def resolve(child: Operator) -> Operator:
+        key = key_of[id(child)]
+        node = build(key)
+        if refs.get(key, 0) >= 2 and _shareable(canonical[key]):
+            wrapper = wrappers.get(key)
+            if wrapper is None:
+                counter[0] += 1
+                wrapper = SharedOp(node, ref_count=refs[key],
+                                   shared_id=counter[0])
+                wrappers[key] = wrapper
+            return wrapper
+        return node
+
+    return build(root_key)
+
+
+def _shareable(node: Operator) -> bool:
+    # a Seed stream is free to recompute; nested SharedOps add nothing
+    return not isinstance(node, (SeedOp, SharedOp))
+
+
+def _params_of(node: Operator) -> tuple:
+    """The node's non-child parameters, compared by identity."""
+    if isinstance(node, BindOp):
+        return (id(node.variable), id(node.term))
+    if isinstance(node, UnnestOp):
+        return (id(node.collection_term), id(node.element_var),
+                id(node.index_var), node.mode)
+    if isinstance(node, StepOp):
+        argument = (node.argument
+                    if isinstance(node.argument, (str, int))
+                    or node.argument is None else id(node.argument))
+        return (id(node.source_var), node.kind, argument,
+                id(node.out_var))
+    if isinstance(node, MakePathOp):
+        return (id(node.template), id(node.out_var))
+    if isinstance(node, SelectOp):
+        return (id(node.atom),)
+    if isinstance(node, IndexFilterOp):
+        return (id(node.variable), id(node.pattern),
+                id(node.recheck_atom), node.oid_only)
+    if isinstance(node, (NegationOp, FormulaOp)):
+        return (id(node.formula),)
+    if isinstance(node, ProjectOp):
+        return tuple(id(variable) for variable in node.head)
+    if isinstance(node, (UnionOp, SeedOp)):
+        return ()
+    # unknown/SharedOp nodes never merge with anything else
+    return (id(node),)
+
+
+def _with_children(node: Operator, children: list[Operator]) -> Operator:
+    if isinstance(node, ProjectOp):
+        rebuilt = ProjectOp(children[0], node.head)
+        rebuilt.var_types = getattr(node, "var_types", None)
+        return rebuilt
+    if isinstance(node, SelectOp):
+        return SelectOp(children[0], node.atom)
+    if isinstance(node, IndexFilterOp):
+        return IndexFilterOp(children[0], node.variable, node.pattern,
+                             node.recheck_atom, oid_only=node.oid_only)
+    if isinstance(node, NegationOp):
+        return NegationOp(children[0], node.formula)
+    if isinstance(node, FormulaOp):
+        return FormulaOp(children[0], node.formula)
+    if isinstance(node, UnionOp):
+        return UnionOp(list(children))
+    if isinstance(node, SharedOp):
+        return SharedOp(children[0], node.ref_count, node.shared_id)
+    if isinstance(node, (BindOp, StepOp, UnnestOp, MakePathOp)):
+        return _rebuild_single_child(node, children[0])
+    raise TypeError(f"cannot rebuild {node!r}")  # pragma: no cover

@@ -23,6 +23,14 @@ Thread safety: every cache mutation happens under one lock; entries are
 immutable once stored, and executing a cached plan builds per-call
 state only (the engine forks a fresh evaluation context per run).
 
+What gets cached is the fully optimized plan — including the
+common-prefix **factoring** that merges identical union-branch prefixes
+into shared DAG nodes (:class:`repro.algebra.operators.SharedOp`).
+Sharing stays sound under caching because a shared node memoizes its
+row stream per *execution*, not per plan: ``execute_plan`` installs the
+memo table on the forked evaluation context and drops it when the run
+ends, so a warm plan re-reads current data every time it runs.
+
 Counters (``cache.hits``, ``cache.misses``, ``cache.invalidations``,
 ``cache.evictions``, ``cache.epoch_bumps``) are incremented on the
 registry the caller passes per operation — the same convention as every

@@ -100,6 +100,12 @@ class EvalContext:
         self.metrics = None
         self.tracer = None
         self.profiler = None
+        #: Per-execution memo of SharedOp streams (the DAG factoring of
+        #: the algebra optimizer).  ``None`` = no execution in flight;
+        #: :func:`repro.algebra.execute.execute_plan` installs a dict
+        #: for the duration of one run and clears it afterwards, so
+        #: cached plans never replay rows across runs.
+        self.shared_memo = None
 
     def root_value(self, name: str) -> object:
         return self.instance.root(name)

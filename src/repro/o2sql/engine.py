@@ -127,7 +127,11 @@ class QueryEngine:
         plan = None
         if self.backend == "algebra":
             from repro.algebra.compile import compile_query
-            from repro.algebra.execute import count_unions, plan_size
+            from repro.algebra.execute import (
+                count_shared,
+                count_unions,
+                plan_size,
+            )
             with tracer.span("compile") as span:
                 plan = compile_query(
                     query, self.instance.schema,
@@ -137,6 +141,7 @@ class QueryEngine:
                     plan = optimize(plan)
                 span.annotate("operators", plan_size(plan))
                 span.annotate("unions", count_unions(plan))
+                span.annotate("shared", count_shared(plan))
         entry = CachedArtifacts(query=query, plan=plan, epoch=epoch,
                                 key=key)
         if cache is not None:

@@ -25,18 +25,35 @@ def _label(operator) -> str:
     return operator.describe(0).split("\n", 1)[0]
 
 
-def plan_tree(operator, profiler: PlanProfiler | None = None) -> dict:
-    """Nested ``{operator, label, rows, pulls, elapsed, children}``."""
+def plan_tree(operator, profiler: PlanProfiler | None = None,
+              _seen: set | None = None) -> dict:
+    """Nested ``{operator, label, rows, pulls, elapsed, children}``.
+
+    Factored plans are DAGs: a shared subplan is expanded only at its
+    first occurrence; later references render as a stub node with
+    ``"ref": True``, no children, and a ``(ref)`` label suffix — so the
+    display, like the execution, visits every shared node once.
+    """
+    if _seen is None:
+        _seen = set()
     stats = profiler.stats_for(operator) if profiler is not None else None
-    return {
+    node = {
         "operator": type(operator).__name__,
         "label": _label(operator),
         "rows": stats.rows_out if stats is not None else None,
         "pulls": stats.pulls if stats is not None else None,
         "elapsed": stats.elapsed if stats is not None else None,
-        "children": [plan_tree(child, profiler)
-                     for child in operator.children()],
     }
+    if id(operator) in _seen:
+        node["label"] += "  (ref)"
+        node["ref"] = True
+        node["children"] = []
+        return node
+    _seen.add(id(operator))
+    node["ref"] = False
+    node["children"] = [plan_tree(child, profiler, _seen)
+                        for child in operator.children()]
+    return node
 
 
 def render_plan_tree(tree: dict, indent: int = 0) -> str:
@@ -107,13 +124,18 @@ class ExplainReport:
                 if node["operator"] == operator_name]
 
     def union_fanouts(self) -> list[int]:
-        """Branch counts of every UnionOp in the executed plan."""
+        """Branch counts of every distinct UnionOp in the executed
+        plan (a union inside a shared subplan is counted once)."""
         if self.plan is None:
             return []
         from repro.algebra.operators import UnionOp
         found: list[int] = []
+        seen: set[int] = set()
 
         def visit(operator) -> None:
+            if id(operator) in seen:
+                return
+            seen.add(id(operator))
             if isinstance(operator, UnionOp):
                 found.append(len(operator.branches))
             for child in operator.children():

@@ -220,19 +220,30 @@ class ListValue:
 class SetValue:
     """An unordered collection value with set semantics.
 
-    Elements must be hashable (all model values are).  Iteration order is
-    deterministic (insertion order of the de-duplicated elements) so that
-    query results are reproducible.
+    Iteration order is deterministic (insertion order of the
+    de-duplicated elements) so that query results are reproducible.
+    All model values are hashable and deduplicate in O(1); a raw host
+    value that is not (a query head bound to e.g. a plain list) falls
+    back to an equality scan instead of raising.
     """
 
     __slots__ = ("items",)
 
     def __init__(self, items: Iterable[object] = ()) -> None:
         seen: dict[object, None] = {}
+        unhashable: list = []
+        ordered: list = []
         for item in items:
-            if item not in seen:
+            try:
+                if item in seen:
+                    continue
                 seen[item] = None
-        self.items = tuple(seen)
+            except TypeError:
+                if any(item == prior for prior in unhashable):
+                    continue
+                unhashable.append(item)
+            ordered.append(item)
+        self.items = tuple(ordered)
 
     def __contains__(self, value: object) -> bool:
         return value in self.items

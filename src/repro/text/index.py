@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
-from repro.text.nfa import compile_pattern_text
+from repro.text.nfa import cached_matcher
 from repro.text.patterns import (
     AndExpr,
     NotExpr,
@@ -39,6 +39,10 @@ class TextIndex:
     def __init__(self) -> None:
         self._postings: dict[str, list[tuple[Hashable, int]]] = {}
         self._documents: dict[Hashable, int] = {}  # key -> token count
+        # reverse map: key -> {token: occurrences} — lets remove/replace
+        # touch only the key's own posting lists instead of scanning the
+        # whole vocabulary
+        self._doc_tokens: dict[Hashable, dict[str, int]] = {}
         #: optional repro.observe MetricsRegistry; ``None`` = disabled
         self.metrics = None
 
@@ -48,28 +52,40 @@ class TextIndex:
         """Index ``text`` under ``key``; returns the token count."""
         tokens = tokenize(text)
         base = self._documents.get(key, 0)
+        counts = self._doc_tokens.setdefault(key, {})
         for offset, token in enumerate(tokens):
             self._postings.setdefault(token, []).append(
                 (key, base + offset))
+            counts[token] = counts.get(token, 0) + 1
         self._documents[key] = base + len(tokens)
         return len(tokens)
 
     def remove(self, key: Hashable) -> int:
         """Drop every posting of ``key``; returns the token count that
         was removed (0 when the key was never indexed).  Tokens whose
-        posting list empties are dropped from the vocabulary."""
+        posting list empties are dropped from the vocabulary.
+
+        Only the key's own tokens (from the reverse map) are visited —
+        ``text.remove_postings_touched`` counts them, and stays
+        independent of the rest of the vocabulary.
+        """
         removed = self._documents.pop(key, None)
         if removed is None:
             return 0
-        if removed:
-            emptied = []
-            for token, postings in self._postings.items():
+        counts = self._doc_tokens.pop(key, {})
+        for token, occurrences in counts.items():
+            if self.metrics is not None:
+                self.metrics.inc("text.remove_postings_touched")
+            postings = self._postings.get(token)
+            if postings is None:  # pragma: no cover - defensive
+                continue
+            if len(postings) == occurrences:
+                # the key owned the whole posting list: drop the token
+                # without filtering
+                del self._postings[token]
+            else:
                 postings[:] = [entry for entry in postings
                                if entry[0] != key]
-                if not postings:
-                    emptied.append(token)
-            for token in emptied:
-                del self._postings[token]
         if self.metrics is not None:
             self.metrics.inc("text.removals")
         return removed
@@ -112,7 +128,7 @@ class TextIndex:
             return self.keys_with_word(word_pattern)
         if self.metrics is not None:
             self.metrics.inc("text.vocabulary_scans")
-        matcher = compile_pattern_text(word_pattern)
+        matcher = cached_matcher(word_pattern)
         hits: set[Hashable] = set()
         for token, postings in self._postings.items():
             if matcher.matches(token):

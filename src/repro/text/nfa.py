@@ -14,6 +14,8 @@ simulation.  Supported syntax (close to classic grep):
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.errors import PatternError
 
 
@@ -340,6 +342,48 @@ def compile_regex(node: Regex) -> Nfa:
 def compile_pattern_text(text: str) -> Nfa:
     """Parse and compile in one call."""
     return compile_regex(parse_regex(text))
+
+
+_MATCHER_CACHE: "OrderedDict[str, Nfa]" = OrderedDict()
+_MATCHER_CACHE_CAPACITY = 64
+_matcher_cache_stats = {"hits": 0, "misses": 0}
+
+
+def cached_matcher(source: str) -> Nfa:
+    """:func:`compile_pattern_text` behind a small LRU keyed by the
+    pattern source.
+
+    Repeated non-literal probes (a vocabulary scan per query, a phrase
+    matcher per word) otherwise re-run the Thompson construction every
+    call.  A compiled :class:`Nfa` is immutable during matching, so one
+    instance can serve every caller.
+    """
+    nfa = _MATCHER_CACHE.get(source)
+    if nfa is not None:
+        _MATCHER_CACHE.move_to_end(source)
+        _matcher_cache_stats["hits"] += 1
+        return nfa
+    nfa = compile_pattern_text(source)
+    _matcher_cache_stats["misses"] += 1
+    _MATCHER_CACHE[source] = nfa
+    while len(_MATCHER_CACHE) > _MATCHER_CACHE_CAPACITY:
+        _MATCHER_CACHE.popitem(last=False)
+    return nfa
+
+
+def matcher_cache_info() -> dict:
+    """Hit/miss/size snapshot of the matcher LRU (for tests)."""
+    return {"hits": _matcher_cache_stats["hits"],
+            "misses": _matcher_cache_stats["misses"],
+            "size": len(_MATCHER_CACHE),
+            "capacity": _MATCHER_CACHE_CAPACITY}
+
+
+def clear_matcher_cache() -> None:
+    """Drop every cached matcher and reset the statistics."""
+    _MATCHER_CACHE.clear()
+    _matcher_cache_stats["hits"] = 0
+    _matcher_cache_stats["misses"] = 0
 
 
 def _emit(node: Regex, nfa: Nfa, source: int, target: int) -> None:

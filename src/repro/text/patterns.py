@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import PatternError
-from repro.text.nfa import Nfa, compile_pattern_text
+from repro.text.nfa import Nfa, cached_matcher
 
 
 def tokenize_words(text: str) -> list[str]:
@@ -68,8 +68,11 @@ class Pattern(PatternExpr):
         if not source:
             raise PatternError("empty pattern")
         self.source = source
+        # matchers come from the shared LRU: parsing the same pattern
+        # text repeatedly (one Pattern per query execution) reuses the
+        # compiled NFA instead of re-running the Thompson construction
         self.word_matchers: list[Nfa] = [
-            compile_pattern_text(word) for word in source.split()]
+            cached_matcher(word) for word in source.split()]
         if not self.word_matchers:
             raise PatternError("pattern has no words")
 

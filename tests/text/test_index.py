@@ -143,6 +143,113 @@ class TestSessionIndexMaintenance:
         assert len(store.query(query)) == 1
 
 
+class TestRemoveTouchesOwnTokensOnly:
+    """Regression: ``remove`` must not walk the whole vocabulary.
+
+    Before the fix, every removal filtered every posting list in the
+    index, so an in-database edit (``update_text`` → ``replace``) cost
+    O(vocabulary) regardless of the edited text.  The reverse map makes
+    the cost a function of the removed document alone —
+    ``text.remove_postings_touched`` pins that.
+    """
+
+    def test_remove_touches_exactly_the_keys_tokens(self):
+        from repro.observe import MetricsRegistry
+        index = TextIndex()
+        index.add("mine", "alpha beta gamma alpha")
+        # a large unrelated vocabulary the removal must never visit
+        for i in range(50):
+            index.add(f"other{i}", f"unrelated{i} filler{i} noise{i}")
+        index.metrics = MetricsRegistry()
+        index.remove("mine")
+        counters = index.metrics.snapshot()["counters"]
+        # three distinct tokens in "mine" — not 153
+        assert counters["text.remove_postings_touched"] == 3
+        assert index.keys_with_word("unrelated7") == {"other7"}
+        assert "alpha" not in set(index.vocabulary())
+
+    def test_update_text_cost_is_independent_of_corpus_size(self):
+        from repro import DocumentStore
+        from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+        from repro.corpus.generator import generate_corpus
+
+        def edit_cost(extra_articles: int) -> int:
+            store = DocumentStore(ARTICLE_DTD, backend="algebra")
+            store.load_text(SAMPLE_ARTICLE, name="my_article")
+            for tree in generate_corpus(extra_articles, seed=7):
+                store.load_tree(tree, validate=False)
+            store.build_text_index()
+            store.enable_metrics()
+            store.reset_metrics()
+            title_oid = next(iter(store.query(
+                "select s.title from a in Articles, s in a.sections "
+                'where a = my_article')))
+            store.update_text(title_oid, "Edited Heading")
+            counters = store.metrics()["counters"]
+            return counters["text.remove_postings_touched"]
+
+        small, large = edit_cost(0), edit_cost(25)
+        # the same edit touches the same postings no matter how many
+        # unrelated articles the index holds
+        assert small == large
+        assert small > 0
+
+    def test_interleaved_adds_then_remove(self):
+        index = TextIndex()
+        index.add("d", "one two")
+        index.add("d", "two three")
+        index.add("e", "two")
+        assert index.remove("d") == 4
+        assert index.keys_with_word("two") == {"e"}
+        assert index.keys_with_word("one") == set()
+        assert index.keys_with_word("three") == set()
+
+
+class TestMatcherCache:
+    """Compiled NFA matchers are memoized across probes."""
+
+    def test_repeated_pattern_probe_compiles_once(self):
+        from repro.text.nfa import clear_matcher_cache, matcher_cache_info
+        index = build_index()
+        clear_matcher_cache()
+        assert index.keys_matching("(t|T)itles") == {"d4"}
+        first = matcher_cache_info()
+        assert index.keys_matching("(t|T)itles") == {"d4"}
+        second = matcher_cache_info()
+        assert first["misses"] == second["misses"] == 1
+        assert second["hits"] == first["hits"] + 1
+
+    def test_phrase_patterns_share_word_matchers(self):
+        from repro.text.nfa import clear_matcher_cache, matcher_cache_info
+        clear_matcher_cache()
+        Pattern("complex object")
+        baseline = matcher_cache_info()["misses"]
+        # re-parsing the same pattern text (one Pattern per query run)
+        # reuses both compiled word matchers
+        Pattern("complex object")
+        assert matcher_cache_info()["misses"] == baseline
+
+    def test_cache_is_bounded(self):
+        from repro.text.nfa import (
+            clear_matcher_cache,
+            matcher_cache_info,
+        )
+        clear_matcher_cache()
+        capacity = matcher_cache_info()["capacity"]
+        for i in range(capacity + 20):
+            Pattern(f"(w|W)ord{i}")
+        info = matcher_cache_info()
+        assert info["size"] <= capacity
+
+    def test_cached_matcher_still_matches(self):
+        from repro.text.nfa import cached_matcher, clear_matcher_cache
+        clear_matcher_cache()
+        for _ in range(2):
+            matcher = cached_matcher("ab+a")
+            assert matcher.matches("abba")
+            assert not matcher.matches("aa")
+
+
 class TestCandidates:
     def test_and_intersects(self):
         index = build_index()
