@@ -346,11 +346,24 @@ def _match_path(current, components, binding: Binding, ctx: EvalContext,
                 yield from _match_path(target, rest, binding, ctx, derefed)
             return
         if isinstance(base, TupleValue):
-            for field_name, field_value in base.fields:
-                extended = dict(binding)
-                extended[attribute] = field_name
-                yield from _match_path(
-                    field_value, rest, extended, ctx, derefed)
+            # An unbound attribute variable values over exactly the
+            # names a ground selection would accept — including the
+            # payload attributes an implicit union selector reaches
+            # (Section 5.3).  Anything else would make ``.A ∧ A = 'x'``
+            # differ from ``.x``, and the calculus disagree with the
+            # schema-path expansion the algebra compiles (Section 5.4).
+            names = list(base.attribute_names)
+            if base.is_marked and isinstance(base.marked_value,
+                                             TupleValue):
+                names.extend(n for n in
+                             base.marked_value.attribute_names
+                             if n not in names)
+            for field_name in names:
+                for target in _select_attribute(base, field_name):
+                    extended = dict(binding)
+                    extended[attribute] = field_name
+                    yield from _match_path(
+                        target, rest, extended, ctx, derefed)
         return
 
     if isinstance(head, Index):

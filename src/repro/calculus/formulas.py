@@ -290,5 +290,11 @@ class Query:
         names = ", ".join(str(v) for v in self.head)
         return f"{{{names} | {self.formula}}}"
 
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and str(other) == str(self)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
     def __repr__(self) -> str:  # pragma: no cover
         return str(self)

@@ -496,8 +496,15 @@ def _attr_targets(tp: Type, attribute: str) -> list[Type]:
 
 
 def _all_attr_targets(tp: Type) -> list[tuple[str, Type]]:
+    """Every (name, target) an attribute variable can value over —
+    markers of a union *and* the attributes its tuple branches carry
+    (the implicit selectors), mirroring :func:`_attr_targets`."""
     if isinstance(tp, TupleType):
         return list(tp.fields)
     if isinstance(tp, UnionType):
-        return list(tp.branches)
+        pairs = list(tp.branches)
+        for _, branch in tp.branches:
+            if isinstance(branch, TupleType):
+                pairs.extend(branch.fields)
+        return pairs
     return []

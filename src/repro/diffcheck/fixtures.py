@@ -1,0 +1,235 @@
+"""Replayable repro fixtures.
+
+A fixture is one JSON document holding a :class:`CorpusSpec` (the
+corpus generator is deterministic, so the spec *is* the corpus), the
+calculus query as a serialized AST, and free-form metadata (what was
+divergent, which run found it).  ``tests/diffcheck/test_replay.py``
+replays every checked-in fixture on every test run — a fixed
+divergence stays fixed.
+
+The encoding covers exactly the surface the diffcheck generator (and
+its minimizer) can produce; an unknown node is a loud error, never a
+silent drop.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.calculus.formulas import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    In,
+    Not,
+    Or,
+    PathAtom,
+    Pred,
+    Query,
+    Subset,
+)
+from repro.calculus.terms import (
+    AttName,
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Deref,
+    Index,
+    ListTerm,
+    Name,
+    PathTerm,
+    PathVar,
+    Sel,
+    SetBind,
+    SetTerm,
+)
+from repro.diffcheck.generator import CorpusSpec
+
+FORMAT = "repro.diffcheck/1"
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode_query(query: Query) -> dict:
+    return {"head": [_encode(v) for v in query.head],
+            "formula": _encode(query.formula)}
+
+
+def _encode(node) -> dict:
+    if isinstance(node, DataVar):
+        return {"t": "datavar", "name": node.name}
+    if isinstance(node, PathVar):
+        return {"t": "pathvar", "name": node.name}
+    if isinstance(node, AttVar):
+        return {"t": "attvar", "name": node.name}
+    if isinstance(node, AttName):
+        return {"t": "attname", "name": node.name}
+    if isinstance(node, Name):
+        return {"t": "name", "name": node.name}
+    if isinstance(node, Const):
+        if not isinstance(node.value, (int, str, bool, float)):
+            raise ValueError(
+                f"only atomic constants serialize, got {node.value!r}")
+        return {"t": "const", "value": node.value}
+    if isinstance(node, ListTerm):
+        return {"t": "list", "items": [_encode(i) for i in node.items]}
+    if isinstance(node, SetTerm):
+        return {"t": "setterm", "items": [_encode(i) for i in node.items]}
+    if isinstance(node, Sel):
+        return {"t": "sel", "attribute": _encode(node.attribute)}
+    if isinstance(node, Index):
+        return {"t": "index", "index": (node.index
+                                        if isinstance(node.index, int)
+                                        else _encode(node.index))}
+    if isinstance(node, Deref):
+        return {"t": "deref"}
+    if isinstance(node, Bind):
+        return {"t": "bind", "variable": _encode(node.variable)}
+    if isinstance(node, SetBind):
+        return {"t": "setbind", "variable": _encode(node.variable)}
+    if isinstance(node, PathTerm):
+        return {"t": "pathterm",
+                "components": [_encode(c) for c in node.components]}
+    if isinstance(node, PathAtom):
+        return {"t": "pathatom", "root": _encode(node.root),
+                "path": _encode(node.path)}
+    if isinstance(node, And):
+        return {"t": "and",
+                "conjuncts": [_encode(c) for c in node.conjuncts]}
+    if isinstance(node, Or):
+        return {"t": "or",
+                "disjuncts": [_encode(d) for d in node.disjuncts]}
+    if isinstance(node, Not):
+        return {"t": "not", "child": _encode(node.child)}
+    if isinstance(node, Implies):
+        return {"t": "implies", "antecedent": _encode(node.antecedent),
+                "consequent": _encode(node.consequent)}
+    if isinstance(node, Forall):
+        return {"t": "forall",
+                "variables": [_encode(v) for v in node.variables],
+                "body": _encode(node.body)}
+    if isinstance(node, Exists):
+        return {"t": "exists",
+                "variables": [_encode(v) for v in node.variables],
+                "body": _encode(node.body)}
+    if isinstance(node, In):
+        return {"t": "in", "element": _encode(node.element),
+                "collection": _encode(node.collection)}
+    if isinstance(node, Eq):
+        return {"t": "eq", "left": _encode(node.left),
+                "right": _encode(node.right)}
+    if isinstance(node, Subset):
+        return {"t": "subset", "left": _encode(node.left),
+                "right": _encode(node.right)}
+    if isinstance(node, Pred):
+        return {"t": "pred", "predicate": node.predicate,
+                "arguments": [_encode(a) for a in node.arguments]}
+    raise ValueError(f"cannot serialize query node {node!r}")
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+def decode_query(payload: dict) -> Query:
+    return Query([_decode(v) for v in payload["head"]],
+                 _decode(payload["formula"]))
+
+
+def _decode(payload: dict):
+    tag = payload["t"]
+    if tag == "datavar":
+        return DataVar(payload["name"])
+    if tag == "pathvar":
+        return PathVar(payload["name"])
+    if tag == "attvar":
+        return AttVar(payload["name"])
+    if tag == "attname":
+        return AttName(payload["name"])
+    if tag == "name":
+        return Name(payload["name"])
+    if tag == "const":
+        return Const(payload["value"])
+    if tag == "list":
+        return ListTerm([_decode(i) for i in payload["items"]])
+    if tag == "setterm":
+        return SetTerm([_decode(i) for i in payload["items"]])
+    if tag == "sel":
+        return Sel(_decode(payload["attribute"]))
+    if tag == "index":
+        index = payload["index"]
+        return Index(index if isinstance(index, int) else _decode(index))
+    if tag == "deref":
+        return Deref()
+    if tag == "bind":
+        return Bind(_decode(payload["variable"]))
+    if tag == "setbind":
+        return SetBind(_decode(payload["variable"]))
+    if tag == "pathterm":
+        return PathTerm([_decode(c) for c in payload["components"]])
+    if tag == "pathatom":
+        return PathAtom(_decode(payload["root"]),
+                        _decode(payload["path"]))
+    if tag == "and":
+        return And(*[_decode(c) for c in payload["conjuncts"]])
+    if tag == "or":
+        return Or(*[_decode(d) for d in payload["disjuncts"]])
+    if tag == "not":
+        return Not(_decode(payload["child"]))
+    if tag == "implies":
+        return Implies(_decode(payload["antecedent"]),
+                       _decode(payload["consequent"]))
+    if tag == "forall":
+        return Forall([_decode(v) for v in payload["variables"]],
+                      _decode(payload["body"]))
+    if tag == "exists":
+        return Exists([_decode(v) for v in payload["variables"]],
+                      _decode(payload["body"]))
+    if tag == "in":
+        return In(_decode(payload["element"]),
+                  _decode(payload["collection"]))
+    if tag == "eq":
+        return Eq(_decode(payload["left"]), _decode(payload["right"]))
+    if tag == "subset":
+        return Subset(_decode(payload["left"]),
+                      _decode(payload["right"]))
+    if tag == "pred":
+        return Pred(payload["predicate"],
+                    [_decode(a) for a in payload["arguments"]])
+    raise ValueError(f"cannot decode query node tagged {tag!r}")
+
+
+# -- fixture files ----------------------------------------------------------
+
+
+def save_fixture(path, spec: CorpusSpec, query: Query,
+                 meta: dict | None = None) -> None:
+    payload = {
+        "format": FORMAT,
+        "corpus": {"count": spec.count, "seed": spec.seed,
+                   "keep": (None if spec.keep is None
+                            else list(spec.keep))},
+        "query": encode_query(query),
+        "rendered": str(query),
+        "meta": meta or {},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_fixture(path) -> tuple[CorpusSpec, Query, dict]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: not a diffcheck fixture (format "
+            f"{payload.get('format')!r})")
+    corpus = payload["corpus"]
+    spec = CorpusSpec(count=corpus["count"], seed=corpus["seed"],
+                      keep=(None if corpus["keep"] is None
+                            else tuple(corpus["keep"])))
+    return spec, decode_query(payload["query"]), payload.get("meta", {})

@@ -1,0 +1,231 @@
+"""Seeded random (corpus, query) case generation.
+
+Queries are generated directly in the calculus (the common input of
+both backends) over the Figure-1 article schema, with the shape the
+equivalence tests established::
+
+    { a, vars(path)... | a ∈ Articles ∧ a PATH(components) ∧ residuals }
+
+Every grammar production the surface offers is reachable: path
+variables, ground attribute selections, marked-union selectors
+(``a1``/``a2``/``figure``/``paragr``), attribute variables, constant
+and variable positional access (ordered tuples view), dereferences,
+value and set bindings, ``contains``/``near`` text predicates,
+negation, and ∀/∃ quantifiers.  Each generated case carries the set of
+productions it exercises, so coverage is testable.
+
+The RNG is the same tiny deterministic LCG the corpus generator uses —
+a case is fully determined by its seed, which is what makes minimized
+repros replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calculus.formulas import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    In,
+    Not,
+    PathAtom,
+    Pred,
+    Query,
+)
+from repro.calculus.terms import (
+    AttVar,
+    Bind,
+    Const,
+    DataVar,
+    Deref,
+    Index,
+    ListTerm,
+    Name,
+    PathTerm,
+    PathVar,
+    Sel,
+    SetBind,
+)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A reproducible corpus: ``generate_corpus(count, seed)`` filtered
+    to the documents whose indices are in ``keep`` (``None`` = all).
+
+    The spec — not the documents — is what fixtures serialize; the
+    corpus generator is deterministic, so the spec is the corpus.
+    """
+
+    count: int
+    seed: int
+    keep: tuple[int, ...] | None = None
+
+    def indices(self) -> tuple[int, ...]:
+        if self.keep is None:
+            return tuple(range(self.count))
+        return self.keep
+
+    def trees(self) -> list:
+        from repro.corpus.generator import generate_corpus
+        generated = generate_corpus(self.count, seed=self.seed)
+        return [generated[i] for i in self.indices()]
+
+    def __str__(self) -> str:
+        kept = "all" if self.keep is None else list(self.keep)
+        return f"corpus(count={self.count}, seed={self.seed}, keep={kept})"
+
+
+@dataclass
+class GeneratedCase:
+    """One differential trial: a corpus, a query, and the grammar
+    productions the query exercises (for coverage assertions)."""
+
+    corpus: CorpusSpec
+    query: Query
+    features: frozenset[str] = field(default_factory=frozenset)
+    case_seed: int = 0
+
+
+#: Ground attribute names of the article schema (tuple selections).
+ATTRIBUTES = ("title", "authors", "affil", "abstract", "sections",
+              "acknowl", "status", "bodies", "subsectns", "caption")
+
+#: Union markers of the article schema (marked-union selectors).
+MARKERS = ("a1", "a2", "figure", "paragr")
+
+#: Text patterns the corpus generator plants with useful selectivity.
+PATTERNS = ("final", "draft", "SGML", "complex object", "object",
+            "OODBMS")
+
+_COMPONENT_KINDS = (
+    "pathvar", "sel", "marker", "attvar", "index", "indexvar",
+    "deref", "bind", "setbind",
+)
+
+_RESIDUAL_KINDS = ("none", "negation", "contains", "near", "forall",
+                   "exists")
+
+
+class _Rng:
+    """The corpus generator's deterministic LCG (no global state)."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed % (2 ** 31) or 1
+
+    def next(self) -> int:
+        self.state = (self.state * 1103515245 + 12345) % (2 ** 31)
+        return self.state
+
+    def range(self, low: int, high: int) -> int:
+        """Inclusive bounds."""
+        return low + self.next() % (high - low + 1)
+
+    def pick(self, items):
+        return items[self.next() % len(items)]
+
+
+class QueryGenerator:
+    """Generate :class:`GeneratedCase`\\ s from a seed stream."""
+
+    def __init__(self, seed: int,
+                 corpus_sizes: tuple[int, ...] = (1, 2, 4, 9)) -> None:
+        self.seed = seed
+        self.corpus_sizes = corpus_sizes
+
+    def case(self, index: int) -> GeneratedCase:
+        """The ``index``-th case of this generator's stream.  Cases are
+        independent (one derived seed each), so any subset replays."""
+        case_seed = self.seed * 100_003 + index
+        rng = _Rng(case_seed)
+        corpus = CorpusSpec(count=rng.pick(self.corpus_sizes),
+                            seed=rng.range(1, 50))
+        query, features = self._query(rng)
+        return GeneratedCase(corpus=corpus, query=query,
+                             features=features, case_seed=case_seed)
+
+    # -- query construction --------------------------------------------------
+
+    def _query(self, rng: _Rng) -> tuple[Query, frozenset[str]]:
+        features: set[str] = set()
+        article = DataVar("a")
+        components, bound_vars = self._components(rng, features)
+        atom = PathAtom(article, PathTerm(components))
+        conjuncts: list = [In(article, Name("Articles")), atom]
+        witness = (bound_vars or [article])[-1]
+        for _ in range(rng.range(0, 2)):
+            residual = self._residual(rng, article, witness, features)
+            if residual is not None:
+                conjuncts.append(residual)
+        head = [article] + list(atom.path.variables())
+        return Query(head, And(*conjuncts)), frozenset(features)
+
+    def _components(self, rng: _Rng,
+                    features: set[str]) -> tuple[list, list]:
+        count = rng.range(1, 4)
+        components: list = []
+        bound: list = []
+        fresh = iter(range(100))
+        for _ in range(count):
+            kind = rng.pick(_COMPONENT_KINDS)
+            features.add(kind)
+            if kind == "pathvar":
+                components.append(PathVar(f"P{next(fresh)}"))
+            elif kind == "sel":
+                components.append(Sel(rng.pick(ATTRIBUTES)))
+            elif kind == "marker":
+                components.append(Sel(rng.pick(MARKERS)))
+            elif kind == "attvar":
+                components.append(Sel(AttVar(f"A{next(fresh)}")))
+            elif kind == "index":
+                components.append(Index(rng.range(0, 2)))
+            elif kind == "indexvar":
+                components.append(Index(DataVar(f"I{next(fresh)}")))
+            elif kind == "deref":
+                components.append(Deref())
+            elif kind == "bind":
+                variable = DataVar(f"X{next(fresh)}")
+                components.append(Bind(variable))
+                bound.append(variable)
+            else:
+                variable = DataVar(f"S{next(fresh)}")
+                components.append(SetBind(variable))
+                bound.append(variable)
+        if not bound:
+            # guarantee a data witness for residual predicates
+            variable = DataVar("Xlast")
+            components.append(Bind(variable))
+            features.add("bind")
+            bound.append(variable)
+        return components, bound
+
+    def _residual(self, rng: _Rng, article: DataVar, witness: DataVar,
+                  features: set[str]):
+        kind = rng.pick(_RESIDUAL_KINDS)
+        if kind == "none":
+            return None
+        features.add(kind)
+        if kind == "negation":
+            return Not(Eq(witness, Const(rng.pick(PATTERNS))))
+        if kind == "contains":
+            return Pred("contains", [witness, Const(rng.pick(PATTERNS))])
+        if kind == "near":
+            return Pred("near", [witness, Const("complex"),
+                                 Const("object"),
+                                 Const(rng.range(1, 6))])
+        if kind == "forall":
+            probe = DataVar("q")
+            return Forall([probe], Implies(
+                In(probe, ListTerm([witness])), Eq(probe, witness)))
+        # exists
+        probe = DataVar("e")
+        return Exists([probe], In(probe, ListTerm([witness])))
+
+
+def generate_cases(budget: int, seed: int, **options) -> list[GeneratedCase]:
+    """The first ``budget`` cases of the seed's stream."""
+    generator = QueryGenerator(seed, **options)
+    return [generator.case(index) for index in range(budget)]

@@ -1,0 +1,208 @@
+"""Run one query through every backend configuration and compare.
+
+The calculus interpreter is the reference semantics; the algebra
+backend is exercised in all optimizer configurations:
+
+* ``unoptimized`` — the raw Section-5.4 compilation;
+* ``optimized``   — index rewrite + selection pushdown, no factoring;
+* ``factored``    — the full pipeline including the shared-prefix DAG;
+* ``cached``      — the factored plan executed a second time on a
+  fresh context fork, i.e. exactly what a prepared/plan-cached query
+  re-execution does (this is the configuration that would catch
+  cross-run state leaks such as a stale ``SharedOp`` memo).
+
+Two outcomes agree when they produce equal result sets, or fail the
+same way — wrong-branch navigation is *false, never an error* in both
+semantics, so a genuine error must be reproduced by both sides to
+count as agreement.  A query that is not range-restricted is refused
+by the calculus at evaluation time (:class:`SafetyError`) and by the
+compiler at compile time (:class:`CompilationError`); both label the
+outcome ``rejected``, so the stage difference never reads as a
+divergence (the minimizer routinely produces such intermediates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calculus.evaluator import evaluate_query
+from repro.calculus.formulas import Query
+from repro.diffcheck.generator import CorpusSpec
+from repro.errors import CompilationError, SafetyError
+from repro.oodb.values import SetValue
+
+#: The algebra-side configurations, in comparison order.
+ALGEBRA_CONFIGS = ("unoptimized", "optimized", "factored", "cached")
+
+#: The reference configuration name.
+REFERENCE = "calculus"
+
+
+def _error_label(exc: Exception) -> str:
+    """Coarse error category; static rejection is stage-independent."""
+    if isinstance(exc, (SafetyError, CompilationError)):
+        return "rejected"
+    return type(exc).__name__
+
+
+@dataclass
+class Outcome:
+    """What one configuration produced: a result set or an error."""
+
+    result: SetValue | None = None
+    error: str | None = None
+
+    def agrees_with(self, other: "Outcome") -> bool:
+        if (self.error is None) != (other.error is None):
+            return False
+        if self.error is not None:
+            return self.error == other.error
+        return self.result == other.result
+
+    def render(self, limit: int = 6) -> str:
+        if self.error is not None:
+            return f"error<{self.error}>"
+        rows = list(self.result)
+        shown = ", ".join(repr(r) for r in rows[:limit])
+        suffix = ", ..." if len(rows) > limit else ""
+        return f"{len(rows)} rows {{{shown}{suffix}}}"
+
+
+@dataclass
+class Comparison:
+    """The outcome of one differential trial."""
+
+    corpus: CorpusSpec
+    query: Query
+    outcomes: dict
+
+    @property
+    def reference(self) -> Outcome:
+        return self.outcomes[REFERENCE]
+
+    def divergent_configs(self) -> list[str]:
+        reference = self.reference
+        return [name for name in ALGEBRA_CONFIGS
+                if name in self.outcomes
+                and not self.outcomes[name].agrees_with(reference)]
+
+    @property
+    def divergent(self) -> bool:
+        return bool(self.divergent_configs())
+
+    def report(self) -> str:
+        lines = [f"query: {self.query}", f"over:  {self.corpus}"]
+        for name, outcome in self.outcomes.items():
+            marker = (" " if name == REFERENCE
+                      or outcome.agrees_with(self.reference) else "!")
+            lines.append(f"  {marker} {name:<12} {outcome.render()}")
+        return "\n".join(lines)
+
+
+class DiffHarness:
+    """Differential comparison over reproducible corpora.
+
+    Stores are built once per :class:`CorpusSpec` and treated as
+    read-only afterwards (a full-text index is installed so the
+    ``optimized`` configurations exercise the index rewrite).
+    ``metrics`` is an optional :class:`repro.observe.MetricsRegistry`;
+    progress lands in ``diffcheck.*`` counters.
+    """
+
+    def __init__(self, metrics=None,
+                 configs: tuple[str, ...] = ALGEBRA_CONFIGS) -> None:
+        unknown = [c for c in configs if c not in ALGEBRA_CONFIGS]
+        if unknown:
+            raise ValueError(f"unknown diffcheck configs: {unknown}")
+        self.metrics = metrics
+        self.configs = tuple(configs)
+        self._stores: dict[CorpusSpec, object] = {}
+
+    # -- stores --------------------------------------------------------------
+
+    def store_for(self, spec: CorpusSpec):
+        store = self._stores.get(spec)
+        if store is None:
+            from repro import DocumentStore
+            from repro.corpus import ARTICLE_DTD
+            store = DocumentStore(ARTICLE_DTD, backend="algebra")
+            for tree in spec.trees():
+                store.load_tree(tree, validate=False)
+            store.build_text_index()
+            self._stores[spec] = store
+            if self.metrics is not None:
+                self.metrics.inc("diffcheck.corpora_built")
+        return store
+
+    # -- comparison ----------------------------------------------------------
+
+    def compare(self, spec: CorpusSpec, query: Query) -> Comparison:
+        store = self.store_for(spec)
+        engine = store._engine
+        outcomes: dict = {}
+        outcomes[REFERENCE] = self._run(
+            lambda: evaluate_query(query, engine.ctx.fork()))
+        plan = error = None
+        try:
+            from repro.algebra.compile import compile_query
+            plan = compile_query(query, engine.instance.schema,
+                                 path_semantics="restricted")
+        except Exception as exc:  # compile failure hits every config
+            error = _error_label(exc)
+        for name in self.configs:
+            if error is not None:
+                outcomes[name] = Outcome(error=error)
+                continue
+            outcomes[name] = self._run(
+                lambda name=name: self._execute(name, plan, engine))
+        comparison = Comparison(corpus=spec, query=query,
+                                outcomes=outcomes)
+        if self.metrics is not None:
+            self.metrics.inc("diffcheck.queries")
+            self.metrics.inc("diffcheck.configs_compared",
+                             len(self.configs))
+            self.metrics.inc("diffcheck.divergences"
+                             if comparison.divergent
+                             else "diffcheck.agreements")
+        return comparison
+
+    @staticmethod
+    def _run(thunk) -> Outcome:
+        try:
+            return Outcome(result=thunk())
+        except Exception as exc:
+            return Outcome(error=_error_label(exc))
+
+    @staticmethod
+    def _execute(name: str, plan, engine) -> SetValue:
+        from repro.algebra.execute import execute_plan
+        from repro.algebra.optimizer import optimize
+        if name == "unoptimized":
+            return execute_plan(plan, engine.ctx.fork())
+        if name == "optimized":
+            return execute_plan(optimize(plan, factor=False),
+                                engine.ctx.fork())
+        factored = optimize(plan)
+        if name == "factored":
+            return execute_plan(factored, engine.ctx.fork())
+        # cached: the same (factored) plan object re-executed on a fresh
+        # fork — the prepared-query path after a cache hit
+        execute_plan(factored, engine.ctx.fork())
+        return execute_plan(factored, engine.ctx.fork())
+
+    # -- the fuzz loop -------------------------------------------------------
+
+    def sweep(self, cases, on_divergence=None) -> list[Comparison]:
+        """Compare every case; returns the divergent comparisons.
+
+        ``on_divergence(case, comparison)`` is invoked as they are
+        found (the CLI hooks minimization + serialization in there).
+        """
+        divergent = []
+        for case in cases:
+            comparison = self.compare(case.corpus, case.query)
+            if comparison.divergent:
+                divergent.append(comparison)
+                if on_divergence is not None:
+                    on_divergence(case, comparison)
+        return divergent

@@ -1,0 +1,151 @@
+"""Delta-debugging minimizer for failing (corpus, query) pairs.
+
+Given a divergence predicate, greedily shrink along three axes until a
+fixpoint:
+
+1. **documents** — drop corpus documents one at a time (a repro over
+   one generated article beats one over nine);
+2. **conjuncts** — drop residual conjuncts of the top-level ⋀;
+3. **path components** — drop components of the path predicate,
+   recomputing the query head from the variables that survive.
+
+A candidate shrink is *accepted* only when the divergence predicate
+still holds on it — candidates that make the query unsafe are rejected
+naturally, because both backends then refuse it identically (see the
+``rejected`` error label in :mod:`repro.diffcheck.harness`) and the
+divergence disappears.
+
+The predicate is a parameter (not hard-wired to the harness) so the
+shrinking strategy is unit-testable against synthetic bugs.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.formulas import And, PathAtom, Query
+from repro.calculus.terms import PathTerm
+from repro.diffcheck.generator import CorpusSpec
+
+
+def minimize(spec: CorpusSpec, query: Query, diverges,
+             metrics=None) -> tuple[CorpusSpec, Query]:
+    """Shrink ``(spec, query)`` while ``diverges(spec, query)`` holds.
+
+    ``diverges`` must be deterministic; the pair returned is 1-minimal
+    along the three axes (no single document, conjunct or path
+    component can be removed without losing the divergence).
+    """
+    if not diverges(spec, query):
+        raise ValueError(
+            "minimize() needs a failing input: the divergence predicate "
+            "is already false on the given (corpus, query) pair")
+    changed = True
+    while changed:
+        changed = False
+        spec, shrunk = _shrink_corpus(spec, query, diverges, metrics)
+        changed |= shrunk
+        query, shrunk = _shrink_conjuncts(spec, query, diverges, metrics)
+        changed |= shrunk
+        query, shrunk = _shrink_components(spec, query, diverges, metrics)
+        changed |= shrunk
+    if metrics is not None:
+        metrics.inc("diffcheck.minimized")
+    return spec, query
+
+
+def _probe(spec, query, diverges, metrics) -> bool:
+    if metrics is not None:
+        metrics.inc("diffcheck.minimizer_probes")
+    try:
+        return bool(diverges(spec, query))
+    except Exception:
+        # a shrink that breaks the checker itself is never accepted
+        return False
+
+
+def _shrink_corpus(spec: CorpusSpec, query, diverges,
+                   metrics) -> tuple[CorpusSpec, bool]:
+    shrunk = False
+    keep = list(spec.indices())
+    position = 0
+    while len(keep) > 1 and position < len(keep):
+        candidate_keep = keep[:position] + keep[position + 1:]
+        candidate = CorpusSpec(count=spec.count, seed=spec.seed,
+                               keep=tuple(candidate_keep))
+        if _probe(candidate, query, diverges, metrics):
+            keep = candidate_keep
+            spec = candidate
+            shrunk = True
+        else:
+            position += 1
+    return spec, shrunk
+
+
+def _conjunct_list(formula) -> list:
+    if isinstance(formula, And):
+        return list(formula.conjuncts)
+    return [formula]
+
+
+def _rebuild(query: Query, conjuncts: list) -> Query | None:
+    """The query over a new conjunct list, with its head reduced to the
+    variables the remaining formula can still bind."""
+    if not conjuncts:
+        return None
+    formula = conjuncts[0] if len(conjuncts) == 1 else And(*conjuncts)
+    path_vars: list = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, PathAtom):
+            path_vars.extend(conjunct.path.variables())
+    head = [variable for variable in query.head
+            if variable in path_vars
+            or variable in formula.free_variables()]
+    if not head:
+        return None
+    return Query(head, formula)
+
+
+def _shrink_conjuncts(spec, query: Query, diverges,
+                      metrics) -> tuple[Query, bool]:
+    shrunk = False
+    conjuncts = _conjunct_list(query.formula)
+    position = 0
+    while len(conjuncts) > 1 and position < len(conjuncts):
+        candidate = _rebuild(
+            query, conjuncts[:position] + conjuncts[position + 1:])
+        if candidate is not None and _probe(spec, candidate, diverges,
+                                            metrics):
+            conjuncts = _conjunct_list(candidate.formula)
+            query = candidate
+            shrunk = True
+        else:
+            position += 1
+    return query, shrunk
+
+
+def _shrink_components(spec, query: Query, diverges,
+                       metrics) -> tuple[Query, bool]:
+    shrunk = False
+    position = 0
+    while True:
+        conjuncts = _conjunct_list(query.formula)
+        atom_index = next(
+            (i for i, c in enumerate(conjuncts)
+             if isinstance(c, PathAtom)), None)
+        if atom_index is None:
+            return query, shrunk
+        atom = conjuncts[atom_index]
+        components = list(atom.path.components)
+        if len(components) <= 1 or position >= len(components):
+            return query, shrunk
+        slimmer = PathAtom(atom.root, PathTerm(
+            components[:position] + components[position + 1:]))
+        candidate = _rebuild(
+            query,
+            conjuncts[:atom_index] + [slimmer]
+            + conjuncts[atom_index + 1:])
+        if candidate is not None and _probe(spec, candidate, diverges,
+                                            metrics):
+            query = candidate
+            shrunk = True
+        else:
+            position += 1

@@ -1,0 +1,129 @@
+"""The diffcheck case generator: coverage, determinism, corpus specs."""
+
+from repro.calculus.formulas import (
+    Exists,
+    Forall,
+    In,
+    Not,
+    PathAtom,
+    Pred,
+    Query,
+)
+from repro.calculus.safety import check_safety
+from repro.calculus.terms import (
+    AttName,
+    AttVar,
+    Bind,
+    Deref,
+    Index,
+    PathVar,
+    Sel,
+    SetBind,
+)
+from repro.diffcheck.generator import (
+    CorpusSpec,
+    MARKERS,
+    QueryGenerator,
+    generate_cases,
+)
+
+#: Every production the ISSUE demands from the generator.
+ALL_FEATURES = {
+    "pathvar", "sel", "marker", "attvar", "index", "indexvar", "deref",
+    "bind", "setbind", "contains", "near", "negation", "forall",
+    "exists",
+}
+
+
+class TestCoverage:
+    def test_every_grammar_production_is_reachable(self):
+        seen: set = set()
+        for case in generate_cases(400, seed=11):
+            seen |= case.features
+        assert ALL_FEATURES <= seen
+
+    def test_feature_tags_match_query_structure(self):
+        """The advertised features actually occur in the AST."""
+        checkers = {
+            "pathvar": lambda c: isinstance(c, PathVar),
+            "attvar": lambda c: (isinstance(c, Sel)
+                                 and isinstance(c.attribute, AttVar)),
+            "marker": lambda c: (isinstance(c, Sel)
+                                 and isinstance(c.attribute, AttName)
+                                 and c.attribute.name in MARKERS),
+            "index": lambda c: (isinstance(c, Index)
+                                and isinstance(c.index, int)),
+            "indexvar": lambda c: (isinstance(c, Index)
+                                   and not isinstance(c.index, int)),
+            "deref": lambda c: isinstance(c, Deref),
+            "bind": lambda c: isinstance(c, Bind),
+            "setbind": lambda c: isinstance(c, SetBind),
+        }
+        residuals = {
+            "negation": Not, "forall": Forall, "exists": Exists,
+        }
+        for case in generate_cases(120, seed=3):
+            atom = next(c for c in case.query.formula.conjuncts
+                        if isinstance(c, PathAtom))
+            for feature, checker in checkers.items():
+                if feature in case.features:
+                    assert any(checker(component) for component
+                               in atom.path.components), (feature, case)
+            for feature, node_type in residuals.items():
+                if feature in case.features:
+                    assert any(isinstance(c, node_type) for c
+                               in case.query.formula.conjuncts)
+            for feature in ("contains", "near"):
+                if feature in case.features:
+                    assert any(isinstance(c, Pred)
+                               and c.predicate == feature
+                               for c in case.query.formula.conjuncts)
+
+    def test_generated_queries_are_safe_and_rooted(self):
+        """Every case passes the static safety analysis — divergence
+        hunting never wastes budget on ill-formed inputs."""
+        for case in generate_cases(120, seed=5):
+            assert isinstance(case.query, Query)
+            check_safety(case.query)
+            first = case.query.formula.conjuncts[0]
+            assert isinstance(first, In)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = generate_cases(30, seed=21)
+        second = generate_cases(30, seed=21)
+        assert [str(c.query) for c in first] \
+            == [str(c.query) for c in second]
+        assert [c.corpus for c in first] == [c.corpus for c in second]
+
+    def test_cases_replay_independently(self):
+        """case(i) does not depend on the cases before it."""
+        generator = QueryGenerator(seed=21)
+        assert str(generator.case(17).query) \
+            == str(QueryGenerator(seed=21).case(17).query)
+
+    def test_different_seeds_differ(self):
+        a = [str(c.query) for c in generate_cases(20, seed=1)]
+        b = [str(c.query) for c in generate_cases(20, seed=2)]
+        assert a != b
+
+
+class TestCorpusSpec:
+    def test_keep_filters_documents(self):
+        full = CorpusSpec(count=4, seed=9)
+        assert full.indices() == (0, 1, 2, 3)
+        assert len(full.trees()) == 4
+        partial = CorpusSpec(count=4, seed=9, keep=(2,))
+        assert partial.indices() == (2,)
+        [tree] = partial.trees()
+        assert tree is not None
+
+    def test_kept_documents_are_positional(self):
+        """keep=(i,) selects the i-th document of the full corpus, so a
+        shrunk spec reproduces exactly the documents it names."""
+        full = CorpusSpec(count=4, seed=9).trees()
+        partial = CorpusSpec(count=4, seed=9, keep=(1, 3)).trees()
+        from repro.sgml.writer import write_document
+        assert [write_document(t) for t in partial] \
+            == [write_document(t) for t in (full[1], full[3])]
