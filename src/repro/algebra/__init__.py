@@ -29,6 +29,7 @@ from repro.algebra.operators import (
     BindOp,
     FormulaOp,
     IndexFilterOp,
+    IntervalJoinOp,
     MakePathOp,
     NegationOp,
     Operator,
@@ -37,14 +38,18 @@ from repro.algebra.operators import (
     SelectOp,
     SharedOp,
     StepOp,
+    StructuralAttrScanOp,
+    StructuralScanOp,
     UnionOp,
     UnnestOp,
 )
 from repro.algebra.optimizer import factor_shared_prefixes, optimize
 
 __all__ = [
-    "BindOp", "FormulaOp", "IndexFilterOp", "MakePathOp", "NegationOp",
-    "Operator", "ProjectOp", "SeedOp", "SelectOp", "SharedOp", "StepOp",
-    "UnionOp", "UnnestOp", "compile_query", "execute_plan",
+    "BindOp", "FormulaOp", "IndexFilterOp", "IntervalJoinOp",
+    "MakePathOp", "NegationOp", "Operator", "ProjectOp", "SeedOp",
+    "SelectOp", "SharedOp", "StepOp", "StructuralAttrScanOp",
+    "StructuralScanOp", "UnionOp",
+    "UnnestOp", "compile_query", "execute_plan",
     "factor_shared_prefixes", "optimize",
 ]

@@ -89,6 +89,8 @@ from repro.algebra.operators import (
     SeedOp,
     SelectOp,
     StepOp,
+    StructuralAttrScanOp,
+    StructuralScanOp,
     UnionOp,
     UnnestOp,
 )
@@ -128,6 +130,9 @@ class _Compiler:
         self.schema = schema
         self.candidates: dict = {}   # var -> [Type] (inference-style)
         self._fresh = 0
+        #: when set, unbound path variables compile to StructuralScanOp
+        #: instead of the union-of-plans fan-out (Section 5.4)
+        self.structural = False
 
     def fresh_var(self, stem: str = "nav") -> DataVar:
         self._fresh += 1
@@ -278,6 +283,30 @@ class _Compiler:
             return FormulaOp(plan, atom)
         start = self.fresh_var()
         plan = BindOp(plan, start, atom.root)
+        scannable = any(isinstance(component, PathVar)
+                        and component not in bound
+                        for component in atom.path.components)
+        result = self._expand_path(plan, start, root_types, atom, bound)
+        if scannable:
+            # Compile the structural-index strategy as well, over the
+            # *same* base plan and user-variable objects: the optimizer
+            # swaps it in (``optimize(..., structural=True)``) without
+            # disturbing bindings the rest of the formula references.
+            previous = self.structural
+            self.structural = True
+            try:
+                alternative = self._expand_path(
+                    plan, start, root_types, atom, bound)
+            finally:
+                self.structural = previous
+            if alternative is not result:
+                result.structural_alternative = alternative
+        for variable in atom.path.variables():
+            bound.add(variable)
+        return result
+
+    def _expand_path(self, plan: Operator, start, root_types,
+                     atom: PathAtom, bound: set) -> Operator:
         # Each frontier entry carries its own bound-variable set: a
         # variable bound in one union branch must be bound afresh in the
         # others (it is the same logical variable, realised per branch).
@@ -287,8 +316,6 @@ class _Compiler:
             frontier = self._advance(frontier, component)
             if not frontier:
                 break
-        for variable in atom.path.variables():
-            bound.add(variable)
         if not frontier:
             # statically impossible: an always-empty plan
             return SelectOp(plan, Eq(Const(0), Const(1)))
@@ -357,6 +384,12 @@ class _Compiler:
     def _advance_sel(self, plan, current, types, component: Sel,
                      bound: set) -> list:
         attribute = component.attribute
+        if (self.structural and isinstance(plan, StructuralScanOp)
+                and not isinstance(plan, StructuralAttrScanOp)
+                and current is plan.out_var):
+            fused = self._fuse_scan_sel(plan, types, component, bound)
+            if fused is not None:
+                return fused
         if isinstance(attribute, AttName):
             out = self.fresh_var()
             targets = []
@@ -391,6 +424,46 @@ class _Compiler:
             entries.append((branch, out, _dedup(names[name]),
                             bound | {attribute}))
         return entries
+
+    def _fuse_scan_sel(self, scan: StructuralScanOp, types,
+                       component: Sel, bound: set) -> list | None:
+        """Fuse a selection that directly follows a structural scan
+        into one :class:`StructuralAttrScanOp` — the scan's AttrStep
+        slices enumerate exactly the holders that can match, so the
+        plan never materialises the subtree-then-filter intermediate.
+        Returns ``None`` when the selection has no fused form (an
+        already-bound attribute variable)."""
+        attribute = component.attribute
+        if isinstance(attribute, AttName):
+            targets = []
+            for tp in types:
+                for base in _deref_type(tp, self.schema):
+                    targets.extend(_attr_targets(base, attribute.name))
+            if not targets:
+                return []
+            out = self.fresh_var()
+            return [(StructuralAttrScanOp(
+                scan.child, scan.source_var, scan.path_var,
+                scan.out_var, attribute.name, None, out),
+                out, _dedup(targets), bound)]
+        if attribute in bound:
+            return None
+        # unbound attribute variable: one fused scan replaces the whole
+        # fan-out over candidate names; the variable is bound per row
+        names: dict[str, list[Type]] = {}
+        for tp in types:
+            for base in _deref_type(tp, self.schema):
+                for name, target in _all_attrs(base):
+                    names.setdefault(name, []).append(target)
+        if not names:
+            return []
+        out = self.fresh_var()
+        targets = [target for group in names.values()
+                   for target in group]
+        return [(StructuralAttrScanOp(
+            scan.child, scan.source_var, scan.path_var, scan.out_var,
+            None, attribute, out),
+            out, _dedup(targets), bound | {attribute})]
 
     def _advance_index(self, plan, current, types, component: Index,
                        bound: set) -> list:
@@ -436,6 +509,19 @@ class _Compiler:
             residual = PathAtom(current, PathTerm([component,
                                                    Bind(out)]))
             return [(FormulaOp(plan, residual), out, [], bound)]
+        if self.structural:
+            # one range scan replaces the whole fan-out: the scan binds
+            # the path variable and its endpoint directly, typed by the
+            # union of every schema path's target (the scan enumerates
+            # exactly those endpoints at runtime)
+            targets = []
+            for tp in types:
+                for schema_path in enumerate_schema_paths(
+                        self.schema, tp):
+                    targets.append(schema_path.target)
+            out = self.fresh_var("node")
+            return [(StructuralScanOp(plan, current, component, out),
+                     out, _dedup(targets), bound | {component})]
         # Candidate valuations in enumeration order, deduplicated at the
         # historical one-branch-per-(steps, target) granularity.
         ordered: list = []

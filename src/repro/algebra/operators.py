@@ -24,7 +24,11 @@ additions:
 * :class:`NegationOp` / :class:`FormulaOp` — boolean combination with
   (⋆)-form subplans, realised by delegating the residual formula to the
   calculus interpreter per row (the paper's "boolean combination of
-  queries of the form (⋆)").
+  queries of the form (⋆)");
+* :class:`StructuralScanOp` / :class:`IntervalJoinOp` — the structural
+  index rewrite: an unbound path variable's whole union fan-out as one
+  pre/post interval range scan (and, joined with a bound variable, two
+  bisections) over :mod:`repro.structindex`.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.calculus.evaluator import (
     satisfy,
 )
 from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
+from repro.paths.enumeration import RESTRICTED, paths_from
 from repro.paths.steps import (
     AttrStep,
     DEREF,
@@ -584,6 +589,235 @@ class IndexFilterOp(Operator):
     def describe(self, indent: int = 0) -> str:
         return (_pad(indent)
                 + f"IndexFilter {self.variable} contains {self.pattern}\n"
+                + self.child.describe(indent + 1))
+
+
+class StructuralScanOp(Operator):
+    """Valuate an unbound path variable by one structural range scan.
+
+    Replaces the whole union-of-plans fan-out rooted at ``source_var``:
+    for each input row, the valuation of ``path_var`` is the set of
+    concrete paths from the row's source value, and ``out_var`` the
+    value each path reaches.  When the structural index
+    (:mod:`repro.structindex`) holds a *complete* occurrence of the
+    source, that set is the contiguous pre range of the occurrence's
+    subtree (``structindex.range_scans``); otherwise the operator falls
+    back to the live walk the calculus itself uses
+    (``structindex.fallback_walks``) — identical pairs either way, so
+    the rewrite is an execution-strategy change only.
+    """
+
+    def __init__(self, child: Operator, source_var, path_var,
+                 out_var) -> None:
+        self.child = child
+        self.source_var = source_var
+        self.path_var = path_var
+        self.out_var = out_var
+
+    def _pairs(self, source, ctx: EvalContext):
+        index = getattr(ctx, "struct_index", None)
+        if index is not None and ctx.path_semantics == RESTRICTED:
+            located = index.locate(source)
+            if located is not None:
+                block, pre = located
+                if ctx.metrics is not None:
+                    ctx.metrics.inc("structindex.range_scans")
+                    ctx.metrics.inc("structindex.nodes_scanned",
+                                    block.subtree_size(pre))
+                return block.relative_pairs(pre, ctx.max_paths)
+            if ctx.metrics is not None:
+                ctx.metrics.inc("structindex.fallback_walks")
+        return paths_from(source, ctx.instance, ctx.path_semantics,
+                          ctx.max_paths)
+
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        for row in self.child.rows(ctx):
+            source = row.get(self.source_var)
+            if source is None and self.source_var not in row:
+                continue
+            for path, value in self._pairs(source, ctx):
+                extended = dict(row)
+                extended[self.path_var] = path
+                extended[self.out_var] = value
+                yield extended
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent)
+                + f"StructuralScan {self.path_var}, {self.out_var} "
+                f"⇐ subtree({self.source_var})\n"
+                + self.child.describe(indent + 1))
+
+
+class StructuralAttrScanOp(StructuralScanOp):
+    """A structural scan fused with the attribute selection that
+    follows it — the accelerator's real workhorse.
+
+    ``PATH_p.title(t)`` does not need to enumerate the subtree and try
+    ``.title`` on every node: the block's per-name AttrStep slice knows
+    exactly where ``title`` attributes live, and
+    :meth:`~repro.structindex.Block.attr_candidates` widens those
+    positions to every holder a selection can reach (auto-dereference
+    chains, marked unions, semantics-blocked oids).  Each candidate is
+    then put through the *same* selection logic as :class:`StepOp`
+    (``_auto_deref`` + ``_select_attribute``), so the fusion changes
+    only which nodes are tried, never what a trial means.
+
+    ``attr`` is a fixed attribute name; alternatively ``attr_var`` is
+    an unbound attribute variable (the Section-5.4 fan-out over every
+    candidate name), bound per row to the name that matched.  Binds
+    ``path_var`` (path to the holder), ``out_var`` (the holder) and
+    ``value_var`` (the selected value).  Sources without a usable
+    occurrence fall back to the live walk, identically filtered.
+    """
+
+    def __init__(self, child: Operator, source_var, path_var, out_var,
+                 attr, attr_var, value_var) -> None:
+        super().__init__(child, source_var, path_var, out_var)
+        self.attr = attr
+        self.attr_var = attr_var
+        self.value_var = value_var
+
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        index = getattr(ctx, "struct_index", None)
+        usable = index is not None and ctx.path_semantics == RESTRICTED
+        metrics = ctx.metrics
+        for row in self.child.rows(ctx):
+            source = row.get(self.source_var)
+            if source is None and self.source_var not in row:
+                continue
+            located = index.locate(source) if usable else None
+            if located is not None:
+                block, pre = located
+                if (ctx.max_paths is None
+                        or block.subtree_size(pre) <= ctx.max_paths):
+                    if metrics is not None:
+                        metrics.inc("structindex.range_scans")
+                    depth = len(block.paths[pre].steps)
+                    candidates = block.attr_candidates(pre, self.attr)
+                    if metrics is not None:
+                        metrics.inc("structindex.nodes_scanned",
+                                    len(candidates))
+                    for position in candidates:
+                        path = Path._unsafe(
+                            block.paths[position].steps[depth:])
+                        yield from self._emit(
+                            row, path, block.values[position], ctx)
+                    continue
+                # subtree larger than max_paths: only the live walk
+                # reproduces the enumeration-limit error contract
+            if usable and metrics is not None:
+                metrics.inc("structindex.fallback_walks")
+            for path, node in paths_from(source, ctx.instance,
+                                         ctx.path_semantics,
+                                         ctx.max_paths):
+                yield from self._emit(row, path, node, ctx)
+
+    def _emit(self, row: Binding, path, node,
+              ctx: EvalContext) -> Iterator[Binding]:
+        base = _auto_deref(node, ctx)
+        if self.attr is not None:
+            names = (self.attr,)
+        else:
+            if not isinstance(base, TupleValue):
+                return
+            names = [name for name, _ in base.fields]
+            if (base.is_marked
+                    and isinstance(base.marked_value, TupleValue)):
+                for name, _ in base.marked_value.fields:
+                    if name not in names:
+                        names.append(name)
+        for name in names:
+            for value in _select_attribute(base, name):
+                extended = dict(row)
+                extended[self.path_var] = path
+                extended[self.out_var] = node
+                if self.attr_var is not None:
+                    extended[self.attr_var] = name
+                extended[self.value_var] = value
+                yield extended
+
+    def describe(self, indent: int = 0) -> str:
+        selector = (f".{self.attr}" if self.attr is not None
+                    else f".{self.attr_var}")
+        return (_pad(indent)
+                + f"StructuralAttrScan {self.path_var}, {self.out_var}"
+                f"{selector} ⇒ {self.value_var} "
+                f"⇐ subtree({self.source_var})\n"
+                + self.child.describe(indent + 1))
+
+
+class IntervalJoinOp(Operator):
+    """A structural scan whose output is equated with an already-bound
+    variable — the ancestor/descendant interval join.
+
+    Fuses ``Select (out ≡ probe)`` into the scan: instead of
+    enumerating the subtree and filtering, probe the block's secondary
+    slice for the row's ``probe_var`` value and bisect its (pre-sorted)
+    positions into the subtree interval
+    (``structindex.interval_probes`` / ``structindex.interval_hits``).
+    Probes outside the slices' equality domain (collections) and
+    sources without a complete occurrence fall back to scan + the exact
+    recheck atom, preserving ``≡`` semantics bit-for-bit.
+    """
+
+    def __init__(self, child: Operator, source_var, path_var, out_var,
+                 probe_var, recheck_atom) -> None:
+        self.child = child
+        self.source_var = source_var
+        self.path_var = path_var
+        self.out_var = out_var
+        self.probe_var = probe_var
+        self.recheck_atom = recheck_atom
+
+    def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
+        index = getattr(ctx, "struct_index", None)
+        usable = index is not None and ctx.path_semantics == RESTRICTED
+        metrics = ctx.metrics
+        for row in self.child.rows(ctx):
+            source = row.get(self.source_var)
+            if source is None and self.source_var not in row:
+                continue
+            matches = None
+            if usable and self.probe_var in row:
+                located = index.locate(source)
+                if located is not None:
+                    block, pre = located
+                    matches = block.matches_in(pre, row[self.probe_var])
+            if matches is not None:
+                if metrics is not None:
+                    metrics.inc("structindex.interval_probes")
+                    metrics.inc("structindex.interval_hits",
+                                len(matches))
+                for path, value in matches:
+                    extended = dict(row)
+                    extended[self.path_var] = path
+                    extended[self.out_var] = value
+                    yield extended
+                continue
+            # fallback: full scan + exact atom recheck (= SelectOp over
+            # StructuralScanOp, which itself falls back to the live walk)
+            if usable and metrics is not None:
+                metrics.inc("structindex.fallback_walks")
+            for path, value in paths_from(
+                    source, ctx.instance, ctx.path_semantics,
+                    ctx.max_paths):
+                extended = dict(row)
+                extended[self.path_var] = path
+                extended[self.out_var] = value
+                for _ in satisfy(self.recheck_atom, extended, ctx):
+                    yield extended
+                    break
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        return (_pad(indent)
+                + f"IntervalJoin {self.out_var} ≡ {self.probe_var} "
+                f"in subtree({self.source_var}), path {self.path_var}\n"
                 + self.child.describe(indent + 1))
 
 

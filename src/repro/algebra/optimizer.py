@@ -19,18 +19,25 @@ Three rewrites are implemented:
   pass structurally hashes every subtree and merges equal ones into a
   single :class:`SharedOp`, turning the plan tree into a DAG whose
   shared streams execute once per run (experiment P7).
+
+A fourth, opt-in rewrite (``structural=True``) replaces each path
+variable's union fan-out with the compiler's pre-attached
+:class:`StructuralScanOp` alternative — one pre/post interval range
+scan over :mod:`repro.structindex` — and fuses an equality select
+directly above a scan into an :class:`IntervalJoinOp` (experiment P9).
 """
 
 from __future__ import annotations
 
-from repro.calculus.formulas import Pred
-from repro.calculus.terms import Const, DataVar
+from repro.calculus.formulas import Eq, Pred
+from repro.calculus.terms import AttVar, Const, DataVar, PathVar
 from repro.oodb.types import ClassType
 from repro.text.patterns import PatternExpr
 from repro.algebra.operators import (
     BindOp,
     FormulaOp,
     IndexFilterOp,
+    IntervalJoinOp,
     MakePathOp,
     NegationOp,
     Operator,
@@ -39,21 +46,69 @@ from repro.algebra.operators import (
     SelectOp,
     SharedOp,
     StepOp,
+    StructuralAttrScanOp,
+    StructuralScanOp,
     UnionOp,
     UnnestOp,
 )
 
 
 def optimize(plan: Operator, use_text_index: bool = True,
-             pushdown: bool = True, factor: bool = True) -> Operator:
-    """Return a rewritten plan (the input is not mutated)."""
+             pushdown: bool = True, factor: bool = True,
+             structural: bool = False) -> Operator:
+    """Return a rewritten plan (the input is not mutated).
+
+    ``structural=True`` swaps every path-variable union fan-out for the
+    compiler's pre-attached :class:`StructuralScanOp` alternative (the
+    pre/post-interval physical layer, experiment P9).  This pass must
+    run *first*: the other rewrites clone operators, and clones do not
+    carry the ``structural_alternative`` attribute.
+    """
     var_types = getattr(plan, "var_types", None) or {}
+    if structural:
+        plan = _structuralize(plan)
     plan = _rewrite(plan, use_text_index, var_types)
     if pushdown:
         plan = _pushdown(plan)
     if factor:
         plan = factor_shared_prefixes(plan)
     return plan
+
+
+def _structuralize(plan: Operator) -> Operator:
+    alternative = getattr(plan, "structural_alternative", None)
+    if alternative is not None:
+        return _structuralize(alternative)
+    plan = _rebuild(plan, _structuralize)
+    if isinstance(plan, SelectOp):
+        fused = _try_interval_join(plan)
+        if fused is not None:
+            return fused
+    return plan
+
+
+def _try_interval_join(select: SelectOp) -> IntervalJoinOp | None:
+    """Fuse ``Select (out ≡ probe)`` directly above a structural scan
+    into the ancestor/descendant interval join."""
+    scan = select.child
+    if (not isinstance(scan, StructuralScanOp)
+            or isinstance(scan, StructuralAttrScanOp)):
+        return None
+    atom = select.atom
+    if not isinstance(atom, Eq):
+        return None
+    if atom.left is scan.out_var:
+        probe = atom.right
+    elif atom.right is scan.out_var:
+        probe = atom.left
+    else:
+        return None
+    if not isinstance(probe, (DataVar, PathVar, AttVar)):
+        return None
+    if probe is scan.out_var or probe is scan.path_var:
+        return None
+    return IntervalJoinOp(scan.child, scan.source_var, scan.path_var,
+                          scan.out_var, probe, atom)
 
 
 def _rewrite(plan: Operator, use_text_index: bool,
@@ -103,7 +158,8 @@ def _sink(select) -> Operator | None:
     variables the filter needs."""
     child = select.child
     needed = _needed_vars(select)
-    if isinstance(child, (BindOp, StepOp, UnnestOp, MakePathOp)):
+    if isinstance(child, (BindOp, StepOp, UnnestOp, MakePathOp,
+                          StructuralScanOp, IntervalJoinOp)):
         produced = _produced_vars(child)
         if needed & produced:
             return None
@@ -137,6 +193,14 @@ def _produced_vars(operator: Operator) -> set:
         return produced
     if isinstance(operator, MakePathOp):
         return {operator.out_var}
+    if isinstance(operator, StructuralAttrScanOp):
+        produced = {operator.path_var, operator.out_var,
+                    operator.value_var}
+        if operator.attr_var is not None:
+            produced.add(operator.attr_var)
+        return produced
+    if isinstance(operator, (StructuralScanOp, IntervalJoinOp)):
+        return {operator.path_var, operator.out_var}
     return set()
 
 
@@ -161,6 +225,18 @@ def _rebuild_single_child(operator: Operator,
                         operator.mode)
     if isinstance(operator, MakePathOp):
         return MakePathOp(new_child, operator.template, operator.out_var)
+    if isinstance(operator, StructuralAttrScanOp):
+        return StructuralAttrScanOp(new_child, operator.source_var,
+                                    operator.path_var, operator.out_var,
+                                    operator.attr, operator.attr_var,
+                                    operator.value_var)
+    if isinstance(operator, StructuralScanOp):
+        return StructuralScanOp(new_child, operator.source_var,
+                                operator.path_var, operator.out_var)
+    if isinstance(operator, IntervalJoinOp):
+        return IntervalJoinOp(new_child, operator.source_var,
+                              operator.path_var, operator.out_var,
+                              operator.probe_var, operator.recheck_atom)
     raise TypeError(f"cannot rebuild {operator!r}")  # pragma: no cover
 
 
@@ -183,7 +259,8 @@ def _rebuild(plan: Operator, transform) -> Operator:
     if isinstance(plan, SharedOp):
         return SharedOp(transform(plan.child), plan.ref_count,
                         plan.shared_id)
-    if isinstance(plan, (BindOp, StepOp, UnnestOp, MakePathOp)):
+    if isinstance(plan, (BindOp, StepOp, UnnestOp, MakePathOp,
+                         StructuralScanOp, IntervalJoinOp)):
         return _rebuild_single_child(plan, transform(plan.child))
     if isinstance(plan, FormulaOp):
         return FormulaOp(transform(plan.child), plan.formula)
@@ -301,6 +378,16 @@ def _params_of(node: Operator) -> tuple:
                 id(node.recheck_atom), node.oid_only)
     if isinstance(node, (NegationOp, FormulaOp)):
         return (id(node.formula),)
+    if isinstance(node, StructuralAttrScanOp):
+        return (id(node.source_var), id(node.path_var),
+                id(node.out_var), node.attr,
+                None if node.attr_var is None else id(node.attr_var),
+                id(node.value_var))
+    if isinstance(node, StructuralScanOp):
+        return (id(node.source_var), id(node.path_var), id(node.out_var))
+    if isinstance(node, IntervalJoinOp):
+        return (id(node.source_var), id(node.path_var), id(node.out_var),
+                id(node.probe_var), id(node.recheck_atom))
     if isinstance(node, ProjectOp):
         return tuple(id(variable) for variable in node.head)
     if isinstance(node, (UnionOp, SeedOp)):
@@ -327,6 +414,7 @@ def _with_children(node: Operator, children: list[Operator]) -> Operator:
         return UnionOp(list(children))
     if isinstance(node, SharedOp):
         return SharedOp(children[0], node.ref_count, node.shared_id)
-    if isinstance(node, (BindOp, StepOp, UnnestOp, MakePathOp)):
+    if isinstance(node, (BindOp, StepOp, UnnestOp, MakePathOp,
+                         StructuralScanOp, IntervalJoinOp)):
         return _rebuild_single_child(node, children[0])
     raise TypeError(f"cannot rebuild {node!r}")  # pragma: no cover

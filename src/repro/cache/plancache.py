@@ -136,9 +136,10 @@ class PlanCache:
 
     @staticmethod
     def key_for(text: str, backend: str, path_semantics: str,
-                type_check: bool = True) -> tuple:
+                type_check: bool = True,
+                structural: bool = False) -> tuple:
         return (normalize_query_text(text), backend, path_semantics,
-                bool(type_check))
+                bool(type_check), bool(structural))
 
     def lookup(self, key: tuple, metrics=None) -> CachedArtifacts | None:
         """The entry for ``key``, or ``None`` on a miss.  An entry from

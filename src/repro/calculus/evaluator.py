@@ -95,6 +95,9 @@ class EvalContext:
         self.max_paths = max_paths
         #: Optional full-text index used by the algebra optimizer.
         self.text_index = None
+        #: Optional pre/post structural index (repro.structindex) used
+        #: by the structural rewrite's scan/join operators.
+        self.struct_index = None
         #: Observability hooks (repro.observe) — ``None`` means disabled;
         #: every instrumentation site guards with one ``is not None`` test.
         self.metrics = None
@@ -125,6 +128,7 @@ class EvalContext:
                             path_semantics=self.path_semantics,
                             max_paths=self.max_paths)
         clone.text_index = self.text_index
+        clone.struct_index = self.struct_index
         clone.metrics = self.metrics
         clone.tracer = self.tracer
         clone.profiler = self.profiler

@@ -6,6 +6,12 @@ backend is exercised in all optimizer configurations:
 * ``unoptimized`` — the raw Section-5.4 compilation;
 * ``optimized``   — index rewrite + selection pushdown, no factoring;
 * ``factored``    — the full pipeline including the shared-prefix DAG;
+* ``structural``  — the full pipeline plus the structural-index
+  rewrite (path-variable fan-outs replaced by pre/post interval range
+  scans over :mod:`repro.structindex`), executed against a store whose
+  structural index is built — this falsifies the scan/join operators,
+  the encoding's completeness flags and the index's freshness hooks
+  against the calculus reference;
 * ``cached``      — the factored plan executed a second time on a
   fresh context fork, i.e. exactly what a prepared/plan-cached query
   re-execution does (this is the configuration that would catch
@@ -32,7 +38,8 @@ from repro.errors import CompilationError, SafetyError
 from repro.oodb.values import SetValue
 
 #: The algebra-side configurations, in comparison order.
-ALGEBRA_CONFIGS = ("unoptimized", "optimized", "factored", "cached")
+ALGEBRA_CONFIGS = ("unoptimized", "optimized", "factored", "structural",
+                   "cached")
 
 #: The reference configuration name.
 REFERENCE = "calculus"
@@ -129,6 +136,7 @@ class DiffHarness:
             for tree in spec.trees():
                 store.load_tree(tree, validate=False)
             store.build_text_index()
+            store.build_structural_index()
             self._stores[spec] = store
             if self.metrics is not None:
                 self.metrics.inc("diffcheck.corpora_built")
@@ -181,6 +189,9 @@ class DiffHarness:
             return execute_plan(plan, engine.ctx.fork())
         if name == "optimized":
             return execute_plan(optimize(plan, factor=False),
+                                engine.ctx.fork())
+        if name == "structural":
+            return execute_plan(optimize(plan, structural=True),
                                 engine.ctx.fork())
         factored = optimize(plan)
         if name == "factored":

@@ -62,7 +62,8 @@ class QueryEngine:
                  type_check: bool = True,
                  backend: str = "calculus",
                  optimize: bool = True,
-                 cache: PlanCache | None = None) -> None:
+                 cache: PlanCache | None = None,
+                 structural: bool = False) -> None:
         self.instance = instance
         self.ctx = EvalContext(instance, provenance=provenance,
                                path_semantics=path_semantics)
@@ -70,6 +71,11 @@ class QueryEngine:
         self.backend = backend
         self.optimize = optimize
         self.cache = cache
+        #: Compile path variables to structural-index range scans
+        #: (experiment P9); requires a StructuralIndex on ``ctx`` to pay
+        #: off, but stays correct without one (scans fall back to live
+        #: walks).  Part of the plan-cache key.
+        self.structural = structural
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -91,7 +97,8 @@ class QueryEngine:
 
     def cache_key(self, text: str) -> tuple:
         return PlanCache.key_for(text, self.backend,
-                                 self.ctx.path_semantics, self.type_check)
+                                 self.ctx.path_semantics, self.type_check,
+                                 self.structural)
 
     def artifacts(self, text: str) -> CachedArtifacts:
         """The pipeline artifacts for ``text``, through the cache when
@@ -138,7 +145,7 @@ class QueryEngine:
                     path_semantics=self.ctx.path_semantics)
                 if self.optimize:
                     from repro.algebra.optimizer import optimize
-                    plan = optimize(plan)
+                    plan = optimize(plan, structural=self.structural)
                 span.annotate("operators", plan_size(plan))
                 span.annotate("unions", count_unions(plan))
                 span.annotate("shared", count_shared(plan))

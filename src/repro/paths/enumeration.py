@@ -13,6 +13,12 @@ Section 4.3).  Two semantics control how object dereferences may repeat:
   hypertext navigation.
 
 Enumeration order is deterministic (document order of the value tree).
+
+The traversal itself is exposed as :func:`walk_events`, an iterative
+enter/leave/blocked event stream: ``paths_from`` is its projection onto
+enter events, and the structural index (:mod:`repro.structindex`) folds
+the *same* stream into pre/post-order arrays — one source of truth, so
+an indexed range scan enumerates exactly what a live walk would.
 """
 
 from __future__ import annotations
@@ -34,6 +40,11 @@ LIBERAL = "liberal"
 
 _SEMANTICS = (RESTRICTED, LIBERAL)
 
+#: Event kinds of :func:`walk_events`.
+ENTER = "enter"
+LEAVE = "leave"
+BLOCKED = "blocked"
+
 
 def paths_from(value: object, instance=None,
                semantics: str = RESTRICTED,
@@ -44,13 +55,10 @@ def paths_from(value: object, instance=None,
     ``max_paths`` guards against very large values (raises when
     exceeded); ``None`` means unbounded.
     """
-    if semantics not in _SEMANTICS:
-        raise EvaluationError(
-            f"unknown path semantics {semantics!r}; "
-            f"use one of {_SEMANTICS}")
-    counter = _Counter(max_paths)
-    yield from _walk(value, instance, semantics, Path.EMPTY,
-                     frozenset(), counter)
+    for kind, path, reached, _level in walk_events(
+            value, instance, semantics, max_paths):
+        if kind is ENTER:
+            yield path, reached
 
 
 class _Counter:
@@ -67,33 +75,64 @@ class _Counter:
                 f"path enumeration exceeded {self.limit} paths")
 
 
-def _walk(value: object, instance, semantics: str, prefix: Path,
-          visited: frozenset, counter: _Counter
-          ) -> Iterator[tuple[Path, object]]:
-    counter.tick()
-    yield prefix, value
-    if isinstance(value, TupleValue):
-        for name, field in value.fields:
-            yield from _walk(field, instance, semantics,
-                             prefix.extended(AttrStep(name)),
-                             visited, counter)
-    elif isinstance(value, ListValue):
-        for index, element in enumerate(value):
-            yield from _walk(element, instance, semantics,
-                             prefix.extended(IndexStep(index)),
-                             visited, counter)
-    elif isinstance(value, SetValue):
-        for element in value:
-            yield from _walk(element, instance, semantics,
-                             prefix.extended(ElemStep(element)),
-                             visited, counter)
-    elif isinstance(value, Oid) and instance is not None:
-        marker = value.class_name if semantics == RESTRICTED else value
-        if marker in visited:
-            return
-        yield from _walk(instance.deref(value), instance, semantics,
-                         prefix.extended(DEREF),
-                         visited | {marker}, counter)
+def walk_events(value: object, instance=None,
+                semantics: str = RESTRICTED,
+                max_nodes: int | None = None
+                ) -> Iterator[tuple[str, Path, object, int]]:
+    """The depth-first traversal behind :func:`paths_from`, as a stream
+    of ``(kind, path, value, level)`` events:
+
+    * ``ENTER``   — a node is reached (one per concrete path, in
+      enumeration order — the pre-order rank);
+    * ``LEAVE``   — its subtree is exhausted (the post-order rank);
+    * ``BLOCKED`` — an oid whose dereference the semantics suppressed
+      (its marker was already on the path); the oid node itself was
+      entered, the deref child is *not*.
+
+    The traversal is iterative (explicit stack), so each event costs
+    O(1) regardless of depth.
+    """
+    if semantics not in _SEMANTICS:
+        raise EvaluationError(
+            f"unknown path semantics {semantics!r}; "
+            f"use one of {_SEMANTICS}")
+    counter = _Counter(max_nodes)
+    restricted = semantics == RESTRICTED
+    stack: list[tuple] = [(ENTER, value, Path.EMPTY, frozenset(), 0)]
+    while stack:
+        kind, value, prefix, visited, level = stack.pop()
+        if kind is not ENTER:
+            yield kind, prefix, value, level
+            continue
+        counter.tick()
+        yield ENTER, prefix, value, level
+        stack.append((LEAVE, value, prefix, visited, level))
+        # children are pushed in reverse so they pop in document order
+        if isinstance(value, TupleValue):
+            stack.extend(
+                (ENTER, field, prefix.extended(AttrStep(name)),
+                 visited, level + 1)
+                for name, field in reversed(value.fields))
+        elif isinstance(value, ListValue):
+            stack.extend(
+                (ENTER, element, prefix.extended(IndexStep(index)),
+                 visited, level + 1)
+                for index, element
+                in reversed(list(enumerate(value))))
+        elif isinstance(value, SetValue):
+            stack.extend(
+                (ENTER, element, prefix.extended(ElemStep(element)),
+                 visited, level + 1)
+                for element in reversed(value.items))
+        elif isinstance(value, Oid) and instance is not None:
+            marker = value.class_name if restricted else value
+            if marker in visited:
+                stack.append((BLOCKED, value, prefix, visited, level))
+            else:
+                stack.append(
+                    (ENTER, instance.deref(value),
+                     prefix.extended(DEREF), visited | {marker},
+                     level + 1))
 
 
 def enumerate_paths(value: object, instance=None,

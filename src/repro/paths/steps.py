@@ -130,6 +130,19 @@ class Path:
                     f"cannot interpret {part!r} as a path step")
         return cls(steps)
 
+    @classmethod
+    def _unsafe(cls, steps: tuple) -> "Path":
+        """Wrap an already-validated step tuple without re-checking it.
+
+        Hot-path constructor for callers slicing step tuples that came
+        out of existing Path objects (the structural index materializes
+        one relative path per scanned node); public construction goes
+        through ``__init__``, which validates.
+        """
+        path = cls.__new__(cls)
+        object.__setattr__(path, "steps", steps)
+        return path
+
     def extended(self, step: Step) -> "Path":
         return Path(self.steps + (step,))
 

@@ -26,6 +26,7 @@ from repro.sgml.dtd_parser import parse_dtd
 from repro.sgml.instance import Element
 from repro.sgml.instance_parser import parse_document
 from repro.sgml.validator import validation_problems
+from repro.structindex import StructuralIndex
 from repro.text.index import TextIndex
 
 
@@ -58,7 +59,8 @@ class DocumentStore:
     """An SGML document database over the extended O₂ model."""
 
     def __init__(self, dtd_text: str, path_semantics: str = "restricted",
-                 backend: str = "calculus", optimize: bool = True) -> None:
+                 backend: str = "calculus", optimize: bool = True,
+                 structural: bool = False) -> None:
         self.dtd = parse_dtd(dtd_text)
         problems = self.dtd.check()
         if problems:
@@ -73,10 +75,14 @@ class DocumentStore:
         self._engine = QueryEngine(
             self.loader.instance, self.loader.provenance,
             path_semantics=path_semantics, backend=backend,
-            optimize=optimize, cache=self.plan_cache)
+            optimize=optimize, cache=self.plan_cache,
+            structural=structural)
         self.text_index: TextIndex | None = None
+        self.struct_index: StructuralIndex | None = None
         self._metrics = None
         self._parents: dict[Oid, list[Oid]] | None = None
+        if structural:
+            self.build_structural_index()
 
     # -- loading ---------------------------------------------------------------
 
@@ -108,6 +114,8 @@ class DocumentStore:
         if name is not None:
             self.define_name(name, oid)
         self._bump_epoch()
+        if self.struct_index is not None:
+            self.struct_index.note_data_change(epoch=self.plan_cache.epoch)
         return oid
 
     def _absorb_new_objects(self, first_new: int) -> None:
@@ -133,6 +141,8 @@ class DocumentStore:
         self.instance.set_root(name, value)
         # a new root changes what identifiers translate to
         self._bump_epoch()
+        if self.struct_index is not None:
+            self.struct_index.note_data_change(epoch=self.plan_cache.epoch)
 
     # -- integrity ------------------------------------------------------------
 
@@ -153,6 +163,27 @@ class DocumentStore:
         index.metrics = self._metrics
         self.text_index = index
         self._engine.ctx.text_index = index
+        return index
+
+    # -- structural indexing (the XPath-accelerator layer, P9) -----------------
+
+    def build_structural_index(self) -> StructuralIndex:
+        """Build (or rebuild) the pre/post structural index over every
+        persistence root and install it on the evaluation context.
+
+        The index makes the ``structural`` rewrite's range scans hit;
+        the facade keeps it fresh afterwards — loads and new names mark
+        everything dirty, :meth:`update_text` marks only the blocks
+        containing the edited object."""
+        index = self.struct_index
+        if index is None:
+            index = StructuralIndex(self.instance,
+                                    epoch_source=self.plan_cache)
+            index.metrics = self._metrics
+            self.struct_index = index
+            self._engine.ctx.struct_index = index
+        index.note_data_change(epoch=self.plan_cache.epoch)
+        index.refresh()
         return index
 
     # -- querying --------------------------------------------------------------
@@ -216,6 +247,8 @@ class DocumentStore:
         self._engine.ctx.metrics = self._metrics
         if self.text_index is not None:
             self.text_index.metrics = self._metrics
+        if self.struct_index is not None:
+            self.struct_index.metrics = self._metrics
 
     def metrics(self) -> dict:
         """Structured snapshot of the store-wide metrics registry
@@ -287,6 +320,11 @@ class DocumentStore:
                                   self.loader.provenance)
                 self.text_index.replace(target, content or "")
         self._bump_epoch()
+        if self.struct_index is not None:
+            # targeted staleness: only the interval blocks whose arrays
+            # contain the edited object are rebuilt on the next refresh
+            self.struct_index.note_object_update(
+                oid, epoch=self.plan_cache.epoch)
 
     # -- containment (for incremental index maintenance) --------------------
 
@@ -364,12 +402,17 @@ class DocumentStore:
         # counting from zero, no parent map yet
         store.plan_cache = PlanCache()
         store._parents = None
+        was_structural = store._engine.structural
         store._engine = QueryEngine(
             restored.instance, provenance=None,
             path_semantics=store._engine.ctx.path_semantics,
             backend=store._engine.backend,
             optimize=store._engine.optimize,
-            cache=store.plan_cache)
+            cache=store.plan_cache,
+            structural=was_structural)
+        store.struct_index = None
+        if was_structural:
+            store.build_structural_index()
         return store
 
     # -- reporting ---------------------------------------------------------------
@@ -379,7 +422,7 @@ class DocumentStore:
         return format_schema(self.schema, self.mapped.constraints)
 
     def stats(self) -> dict:
-        return {
+        report = {
             "documents": len(self.instance.root(self.mapped.root_name)),
             "objects": self.instance.object_count(),
             "classes": len(self.schema.class_names),
@@ -387,3 +430,6 @@ class DocumentStore:
             "epoch": self.plan_cache.epoch,
             "plan_cache": self.plan_cache.stats(),
         }
+        if self.struct_index is not None:
+            report["struct_index"] = self.struct_index.stats()
+        return report

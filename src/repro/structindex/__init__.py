@@ -1,0 +1,13 @@
+"""Pre/post-order structural index — the "XPath accelerator" layer.
+
+See :mod:`repro.structindex.index` for the encoding and its
+completeness/freshness invariants.
+"""
+
+from repro.structindex.index import (
+    DEFAULT_MAX_BLOCK_NODES,
+    Block,
+    StructuralIndex,
+)
+
+__all__ = ["Block", "DEFAULT_MAX_BLOCK_NODES", "StructuralIndex"]
