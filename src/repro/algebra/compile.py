@@ -62,7 +62,6 @@ from repro.calculus.terms import (
     DataVar,
     Deref,
     Index,
-    PathApply,
     PathTerm,
     PathVar,
     Sel,
@@ -222,7 +221,7 @@ class _Compiler:
         # Forall and anything else: complete fallback
         return FormulaOp(plan, conjunct)
 
-    # -- simple atoms -----------------------------------------------------------
+    # -- simple atoms ---------------------------------------------------------
 
     def _compile_eq(self, plan: Operator, atom: Eq,
                     bound: set) -> Operator:
@@ -271,7 +270,7 @@ class _Compiler:
         return UnnestOp(plan, atom.collection, atom.element,
                         mode="collection")
 
-    # -- path predicates -----------------------------------------------------------
+    # -- path predicates ------------------------------------------------------
 
     def _compile_path_atom(self, plan: Operator, atom: PathAtom,
                            bound: set) -> Operator:
@@ -305,7 +304,8 @@ class _Compiler:
             bound.add(variable)
         return result
 
-    def _expand_path(self, plan: Operator, start, root_types,
+    def _expand_path(self, plan: Operator, start: DataVar,
+                     root_types: list[Type],
                      atom: PathAtom, bound: set) -> Operator:
         # Each frontier entry carries its own bound-variable set: a
         # variable bound in one union branch must be bound afresh in the
@@ -324,7 +324,7 @@ class _Compiler:
         return UnionOp([entry[0] for entry in frontier])
 
 
-    def _types_of_term(self, term) -> list[Type] | None:
+    def _types_of_term(self, term: object) -> list[Type] | None:
         inferred = _term_type(term, self.schema, self.candidates)
         if inferred is None:
             return None
@@ -333,7 +333,7 @@ class _Compiler:
             return [branch for _, branch in inferred.branches]
         return [inferred]
 
-    def _advance(self, frontier, component):
+    def _advance(self, frontier: list, component: object) -> list:
         advanced = []
         for plan, current, types, branch_bound in frontier:
             advanced.extend(
@@ -342,7 +342,8 @@ class _Compiler:
         return advanced
 
     def _advance_entry(self, plan: Operator, current: DataVar,
-                       types: list[Type], component, bound: set) -> list:
+                       types: list[Type], component: object,
+                       bound: set) -> list:
         if isinstance(component, Sel):
             return self._advance_sel(plan, current, types, component,
                                      bound)
@@ -381,7 +382,8 @@ class _Compiler:
                                           component, bound)
         raise CompilationError(f"unknown path component {component!r}")
 
-    def _advance_sel(self, plan, current, types, component: Sel,
+    def _advance_sel(self, plan: Operator, current: DataVar,
+                     types: list[Type], component: Sel,
                      bound: set) -> list:
         attribute = component.attribute
         if (self.structural and isinstance(plan, StructuralScanOp)
@@ -425,7 +427,8 @@ class _Compiler:
                             bound | {attribute}))
         return entries
 
-    def _fuse_scan_sel(self, scan: StructuralScanOp, types,
+    def _fuse_scan_sel(self, scan: StructuralScanOp,
+                       types: list[Type],
                        component: Sel, bound: set) -> list | None:
         """Fuse a selection that directly follows a structural scan
         into one :class:`StructuralAttrScanOp` — the scan's AttrStep
@@ -465,7 +468,8 @@ class _Compiler:
             None, attribute, out),
             out, _dedup(targets), bound | {attribute})]
 
-    def _advance_index(self, plan, current, types, component: Index,
+    def _advance_index(self, plan: Operator, current: DataVar,
+                       types: list[Type], component: Index,
                        bound: set) -> list:
         element_types = []
         for tp in types:
@@ -501,7 +505,8 @@ class _Compiler:
                           mode="positions"), out,
                  element_types, bound | {variable})]
 
-    def _advance_path_var(self, plan, current, types,
+    def _advance_path_var(self, plan: Operator, current: DataVar,
+                          types: list[Type],
                           component: PathVar, bound: set) -> list:
         if component in bound:
             # a re-used path variable: apply it generically at runtime

@@ -33,7 +33,7 @@ additions:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.errors import CompilationError, EvaluationError
 from repro.calculus.evaluator import (
@@ -44,6 +44,7 @@ from repro.calculus.evaluator import (
     eval_term,
     satisfy,
 )
+from repro.calculus.terms import term_variables
 from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
 from repro.paths.enumeration import RESTRICTED, paths_from
 from repro.paths.steps import (
@@ -80,6 +81,31 @@ class Operator:
     def children(self) -> list["Operator"]:
         return []
 
+    # -- dataflow contracts (checked statically by repro.plancheck) --------
+
+    def consumes(self) -> frozenset:
+        """Variables this operator requires *bound* in every input row.
+
+        The static half of the operator's dataflow contract: the
+        :mod:`repro.plancheck` verifier threads a binding environment
+        through the plan and rejects any plan where a consumed variable
+        is not produced upstream — the class of bug a broken optimizer
+        rewrite (a filter pushed below its producer, a probe detached
+        from its binder) introduces.
+        """
+        return frozenset()
+
+    def produces(self) -> frozenset:
+        """Variables this operator binds on every row it yields.
+
+        For :class:`FormulaOp` this is an over-approximation (the
+        residual formula may re-yield already-bound variables), which
+        is sound for the verifier's purpose: the environment only ever
+        *grows* along a plan spine, so over-approximating produces can
+        never manufacture an unbound-consumption fault.
+        """
+        return frozenset()
+
     def __repr__(self) -> str:  # pragma: no cover
         return self.describe()
 
@@ -102,7 +128,8 @@ class BindOp(Operator):
     """Bind ``var`` to the value of a ground term; rows where the term
     does not evaluate (wrong union branch) are dropped."""
 
-    def __init__(self, child: Operator, variable, term) -> None:
+    def __init__(self, child: Operator, variable: Any,
+                 term: Any) -> None:
         self.child = child
         self.variable = variable
         self.term = term
@@ -121,6 +148,12 @@ class BindOp(Operator):
             extended = dict(row)
             extended[self.variable] = value
             yield extended
+
+    def consumes(self) -> frozenset:
+        return frozenset(term_variables(self.term))
+
+    def produces(self) -> frozenset:
+        return frozenset((self.variable,))
 
     def children(self) -> list[Operator]:
         return [self.child]
@@ -145,8 +178,9 @@ class UnnestOp(Operator):
     * ``"set"`` — a ``{X}`` step: auto-dereference, then sets only.
     """
 
-    def __init__(self, child: Operator, collection_term, element_var,
-                 index_var=None, mode: str = "collection") -> None:
+    def __init__(self, child: Operator, collection_term: Any,
+                 element_var: Any, index_var: Any = None,
+                 mode: str = "collection") -> None:
         if mode not in ("collection", "positions", "set"):
             raise CompilationError(f"unknown unnest mode {mode!r}")
         self.child = child
@@ -155,7 +189,7 @@ class UnnestOp(Operator):
         self.index_var = index_var
         self.mode = mode
 
-    def _resolve(self, collection, ctx: EvalContext):
+    def _resolve(self, collection: Any, ctx: EvalContext) -> Any:
         if self.mode == "collection":
             if isinstance(collection, (ListValue, SetValue)):
                 return collection
@@ -194,6 +228,15 @@ class UnnestOp(Operator):
                         extended[self.index_var] = position
                 yield extended
 
+    def consumes(self) -> frozenset:
+        return frozenset(term_variables(self.collection_term))
+
+    def produces(self) -> frozenset:
+        produced = {self.element_var}
+        if self.index_var is not None:
+            produced.add(self.index_var)
+        return frozenset(produced)
+
     def children(self) -> list[Operator]:
         return [self.child]
 
@@ -215,8 +258,8 @@ class StepOp(Operator):
     the paper's variant-based selection over heterogeneous collections).
     """
 
-    def __init__(self, child: Operator, source_var, kind: str,
-                 argument, out_var) -> None:
+    def __init__(self, child: Operator, source_var: Any, kind: str,
+                 argument: Any, out_var: Any) -> None:
         self.child = child
         self.source_var = source_var
         self.kind = kind
@@ -233,7 +276,8 @@ class StepOp(Operator):
                 extended[self.out_var] = value
                 yield extended
 
-    def _apply(self, source, row: Binding, ctx: EvalContext) -> list:
+    def _apply(self, source: Any, row: Binding,
+               ctx: EvalContext) -> list:
         if self.kind == "deref":
             if isinstance(source, Oid):
                 return [ctx.instance.deref(source)]
@@ -261,6 +305,15 @@ class StepOp(Operator):
             return []
         raise CompilationError(f"unknown step kind {self.kind!r}")
 
+    def consumes(self) -> frozenset:
+        needed = {self.source_var}
+        if self.kind in ("attr_by_var", "index_by_var"):
+            needed.add(self.argument)
+        return frozenset(needed)
+
+    def produces(self) -> frozenset:
+        return frozenset((self.out_var,))
+
     def children(self) -> list[Operator]:
         return [self.child]
 
@@ -279,7 +332,8 @@ class MakePathOp(Operator):
     ``('deref',)``, ``('elem_from', var)``.
     """
 
-    def __init__(self, child: Operator, template: list, out_var) -> None:
+    def __init__(self, child: Operator, template: list,
+                 out_var: Any) -> None:
         self.child = child
         self.template = template
         self.out_var = out_var
@@ -313,6 +367,16 @@ class MakePathOp(Operator):
             extended[self.out_var] = Path(steps)
             yield extended
 
+    def consumes(self) -> frozenset:
+        needed = set()
+        for instruction in self.template:
+            if instruction[0] in ("index_from", "elem_from"):
+                needed.add(instruction[1])
+        return frozenset(needed)
+
+    def produces(self) -> frozenset:
+        return frozenset((self.out_var,))
+
     def children(self) -> list[Operator]:
         return [self.child]
 
@@ -332,7 +396,7 @@ class SelectOp(Operator):
     """Filter by a ground atom (delegated to the calculus atom
     semantics, preserving wrong-branch-is-false)."""
 
-    def __init__(self, child: Operator, atom) -> None:
+    def __init__(self, child: Operator, atom: Any) -> None:
         self.child = child
         self.atom = atom
 
@@ -341,6 +405,9 @@ class SelectOp(Operator):
             for _ in satisfy(self.atom, row, ctx):
                 yield row
                 break
+
+    def consumes(self) -> frozenset:
+        return frozenset(self.atom.free_variables())
 
     def children(self) -> list[Operator]:
         return [self.child]
@@ -353,7 +420,7 @@ class SelectOp(Operator):
 class NegationOp(Operator):
     """Anti-filter: keep rows where the subformula has no witness."""
 
-    def __init__(self, child: Operator, formula) -> None:
+    def __init__(self, child: Operator, formula: Any) -> None:
         self.child = child
         self.formula = formula
 
@@ -361,6 +428,12 @@ class NegationOp(Operator):
         for row in self.child.rows(ctx):
             if not any(True for _ in satisfy(self.formula, row, ctx)):
                 yield row
+
+    def consumes(self) -> frozenset:
+        # compile.py only emits NegationOp once every free variable of
+        # the negated subformula is bound (safety); an unbound variable
+        # here would silently change semantics, so the verifier insists.
+        return frozenset(self.formula.free_variables())
 
     def children(self) -> list[Operator]:
         return [self.child]
@@ -375,13 +448,21 @@ class FormulaOp(Operator):
     row via the calculus interpreter (used for quantifiers the purely
     algebraic operators do not cover)."""
 
-    def __init__(self, child: Operator, formula) -> None:
+    def __init__(self, child: Operator, formula: Any) -> None:
         self.child = child
         self.formula = formula
 
     def _rows(self, ctx: EvalContext) -> Iterator[Binding]:
         for row in self.child.rows(ctx):
             yield from satisfy(self.formula, row, ctx)
+
+    def produces(self) -> frozenset:
+        # The interpreter extends rows with witnesses for the formula's
+        # free variables.  Claiming all of them is a sound
+        # over-approximation for the dataflow pass: the environment only
+        # ever *grows* along an operator chain, and any variable the
+        # interpreter leaves unbound would already fail dynamically.
+        return frozenset(self.formula.free_variables())
 
     def children(self) -> list[Operator]:
         return [self.child]
@@ -539,8 +620,8 @@ class IndexFilterOp(Operator):
     :class:`UnionOp` skip the whole branch before it runs.
     """
 
-    def __init__(self, child: Operator, variable, pattern,
-                 recheck_atom, oid_only: bool = False) -> None:
+    def __init__(self, child: Operator, variable: Any, pattern: Any,
+                 recheck_atom: Any, oid_only: bool = False) -> None:
         self.child = child
         self.variable = variable
         self.pattern = pattern
@@ -548,7 +629,7 @@ class IndexFilterOp(Operator):
         self.oid_only = oid_only
         self._candidates = _NO_CANDIDATES
 
-    def candidate_set(self, ctx: EvalContext):
+    def candidate_set(self, ctx: EvalContext) -> Any:
         """The memoized index probe (``None`` = no index or no pruning
         possible; see :meth:`repro.text.TextIndex.candidates`)."""
         index = getattr(ctx, "text_index", None)
@@ -583,6 +664,10 @@ class IndexFilterOp(Operator):
                 yield row
                 break
 
+    def consumes(self) -> frozenset:
+        return frozenset({self.variable}
+                         | set(self.recheck_atom.free_variables()))
+
     def children(self) -> list[Operator]:
         return [self.child]
 
@@ -607,14 +692,14 @@ class StructuralScanOp(Operator):
     the rewrite is an execution-strategy change only.
     """
 
-    def __init__(self, child: Operator, source_var, path_var,
-                 out_var) -> None:
+    def __init__(self, child: Operator, source_var: Any,
+                 path_var: Any, out_var: Any) -> None:
         self.child = child
         self.source_var = source_var
         self.path_var = path_var
         self.out_var = out_var
 
-    def _pairs(self, source, ctx: EvalContext):
+    def _pairs(self, source: Any, ctx: EvalContext) -> Any:
         index = getattr(ctx, "struct_index", None)
         if index is not None and ctx.path_semantics == RESTRICTED:
             located = index.locate(source)
@@ -640,6 +725,12 @@ class StructuralScanOp(Operator):
                 extended[self.path_var] = path
                 extended[self.out_var] = value
                 yield extended
+
+    def consumes(self) -> frozenset:
+        return frozenset((self.source_var,))
+
+    def produces(self) -> frozenset:
+        return frozenset((self.path_var, self.out_var))
 
     def children(self) -> list[Operator]:
         return [self.child]
@@ -673,8 +764,9 @@ class StructuralAttrScanOp(StructuralScanOp):
     occurrence fall back to the live walk, identically filtered.
     """
 
-    def __init__(self, child: Operator, source_var, path_var, out_var,
-                 attr, attr_var, value_var) -> None:
+    def __init__(self, child: Operator, source_var: Any,
+                 path_var: Any, out_var: Any, attr: Any,
+                 attr_var: Any, value_var: Any) -> None:
         super().__init__(child, source_var, path_var, out_var)
         self.attr = attr
         self.attr_var = attr_var
@@ -715,7 +807,7 @@ class StructuralAttrScanOp(StructuralScanOp):
                                          ctx.max_paths):
                 yield from self._emit(row, path, node, ctx)
 
-    def _emit(self, row: Binding, path, node,
+    def _emit(self, row: Binding, path: Any, node: Any,
               ctx: EvalContext) -> Iterator[Binding]:
         base = _auto_deref(node, ctx)
         if self.attr is not None:
@@ -738,6 +830,12 @@ class StructuralAttrScanOp(StructuralScanOp):
                     extended[self.attr_var] = name
                 extended[self.value_var] = value
                 yield extended
+
+    def produces(self) -> frozenset:
+        produced = {self.path_var, self.out_var, self.value_var}
+        if self.attr_var is not None:
+            produced.add(self.attr_var)
+        return frozenset(produced)
 
     def describe(self, indent: int = 0) -> str:
         selector = (f".{self.attr}" if self.attr is not None
@@ -763,8 +861,9 @@ class IntervalJoinOp(Operator):
     recheck atom, preserving ``≡`` semantics bit-for-bit.
     """
 
-    def __init__(self, child: Operator, source_var, path_var, out_var,
-                 probe_var, recheck_atom) -> None:
+    def __init__(self, child: Operator, source_var: Any,
+                 path_var: Any, out_var: Any, probe_var: Any,
+                 recheck_atom: Any) -> None:
         self.child = child
         self.source_var = source_var
         self.path_var = path_var
@@ -811,6 +910,12 @@ class IntervalJoinOp(Operator):
                     yield extended
                     break
 
+    def consumes(self) -> frozenset:
+        return frozenset((self.source_var, self.probe_var))
+
+    def produces(self) -> frozenset:
+        return frozenset((self.path_var, self.out_var))
+
     def children(self) -> list[Operator]:
         return [self.child]
 
@@ -840,6 +945,9 @@ class ProjectOp(Operator):
             if key not in seen:
                 seen.add(key)
                 yield projected
+
+    def consumes(self) -> frozenset:
+        return frozenset(self.head)
 
     def children(self) -> list[Operator]:
         return [self.child]

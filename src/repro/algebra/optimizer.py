@@ -29,6 +29,9 @@ directly above a scan into an :class:`IntervalJoinOp` (experiment P9).
 
 from __future__ import annotations
 
+import warnings
+from typing import Any, Callable
+
 from repro.calculus.formulas import Eq, Pred
 from repro.calculus.terms import AttVar, Const, DataVar, PathVar
 from repro.oodb.types import ClassType
@@ -53,9 +56,19 @@ from repro.algebra.operators import (
 )
 
 
+#: Test-only corruption switch for the plancheck mutation test: set to
+#: ``"pushdown_unguarded"`` (the pushdown ignores its producer guard) or
+#: ``"interval_probe_misbound"`` (the interval join probes the variable
+#: the scan itself binds) to seed a broken rewrite the verifier must
+#: catch.  Production value is ``None``; never set it outside tests.
+_TEST_MUTATION: str | None = None
+
+
 def optimize(plan: Operator, use_text_index: bool = True,
              pushdown: bool = True, factor: bool = True,
-             structural: bool = False) -> Operator:
+             structural: bool = False, verify: str = "warn",
+             query: object = None, metrics: object = None,
+             tracer: object = None) -> Operator:
     """Return a rewritten plan (the input is not mutated).
 
     ``structural=True`` swaps every path-variable union fan-out for the
@@ -63,16 +76,67 @@ def optimize(plan: Operator, use_text_index: bool = True,
     pre/post-interval physical layer, experiment P9).  This pass must
     run *first*: the other rewrites clone operators, and clones do not
     carry the ``structural_alternative`` attribute.
+
+    Every stage is gated by the :mod:`repro.plancheck` verifier.
+    ``verify`` selects the failure policy: ``"raise"`` (tests,
+    diffcheck) raises :class:`~repro.errors.PlanVerificationError` on
+    the first faulty stage, ``"warn"`` (the production default) counts
+    ``plancheck.faults`` on ``metrics`` and emits one ``UserWarning``
+    but keeps the *last verified* plan, ``"off"`` skips verification.
+    ``query`` (the calculus form) enables the head-match check;
+    ``tracer`` gets one sub-span per stage (the compile-phase breakdown
+    of ``explain_analyze``).
     """
-    var_types = getattr(plan, "var_types", None) or {}
+    if verify not in ("raise", "warn", "off"):
+        raise ValueError(f"unknown verify policy {verify!r}")
+    stages: list[tuple[str, object]] = []
     if structural:
-        plan = _structuralize(plan)
-    plan = _rewrite(plan, use_text_index, var_types)
+        stages.append(("structuralize", _structuralize))
+    var_types = getattr(plan, "var_types", None) or {}
+    stages.append(("index", lambda p: _rewrite(p, use_text_index,
+                                               var_types)))
     if pushdown:
-        plan = _pushdown(plan)
+        stages.append(("pushdown", _pushdown))
     if factor:
-        plan = factor_shared_prefixes(plan)
+        stages.append(("factor", factor_shared_prefixes))
+    if verify == "off":
+        for name, stage in stages:
+            plan = _run_stage(stage, plan, tracer, name)
+        return plan
+
+    from repro.plancheck.verifier import check_plan, verify_plan
+    verified = plan
+    for name, stage in stages:
+        plan = _run_stage(stage, plan, tracer, name)
+        if verify == "raise":
+            check_plan(plan, query=query, stage=name, metrics=metrics)
+            verified = plan
+            continue
+        faults = verify_plan(plan, query=query, stage=name,
+                             metrics=metrics)
+        if faults:
+            # keep serving the last plan that verified — a broken
+            # rewrite must never reach execution
+            warnings.warn(
+                f"optimizer stage {name!r} produced a plan that fails "
+                f"static verification ({faults[0].code}: "
+                f"{faults[0].message}); keeping the pre-stage plan",
+                stacklevel=2)
+            if metrics is not None:
+                metrics.inc("plancheck.stages_rejected")
+            plan = verified
+        else:
+            verified = plan
     return plan
+
+
+def _run_stage(stage: Callable[[Operator], Operator], plan: Operator,
+               tracer: Any,
+               name: str | None = None) -> Operator:
+    if tracer is None or name is None:
+        return stage(plan)
+    with tracer.span(f"optimize.{name}"):
+        return stage(plan)
 
 
 def _structuralize(plan: Operator) -> Operator:
@@ -107,6 +171,10 @@ def _try_interval_join(select: SelectOp) -> IntervalJoinOp | None:
         return None
     if probe is scan.out_var or probe is scan.path_var:
         return None
+    if _TEST_MUTATION == "interval_probe_misbound":
+        # seeded bug: probe the variable the scan itself binds — the
+        # join then consumes a variable nothing upstream produces
+        probe = scan.out_var
     return IntervalJoinOp(scan.child, scan.source_var, scan.path_var,
                           scan.out_var, probe, atom)
 
@@ -153,7 +221,7 @@ def _pushdown(plan: Operator) -> Operator:
     return plan
 
 
-def _sink(select) -> Operator | None:
+def _sink(select: Any) -> Operator | None:
     """Move a filter below its child when the child binds none of the
     variables the filter needs."""
     child = select.child
@@ -161,7 +229,9 @@ def _sink(select) -> Operator | None:
     if isinstance(child, (BindOp, StepOp, UnnestOp, MakePathOp,
                           StructuralScanOp, IntervalJoinOp)):
         produced = _produced_vars(child)
-        if needed & produced:
+        # seeded bug for the plancheck mutation test: sinking without
+        # the producer guard pushes a filter below its binder
+        if needed & produced and _TEST_MUTATION != "pushdown_unguarded":
             return None
         relocated = _clone_filter(select, child.child)
         rebuilt = _rebuild_single_child(child, _pushdown(relocated))
@@ -173,38 +243,18 @@ def _sink(select) -> Operator | None:
     return None
 
 
-def _needed_vars(select) -> set:
-    if isinstance(select, IndexFilterOp):
-        atom = select.recheck_atom
-    else:
-        atom = select.atom
-    return set(atom.free_variables())
+def _needed_vars(select: Any) -> set:
+    # the operator's own dataflow contract (checked by repro.plancheck)
+    # is exactly the pushdown's commutation condition
+    return set(select.consumes())
 
 
 def _produced_vars(operator: Operator) -> set:
-    if isinstance(operator, BindOp):
-        return {operator.variable}
-    if isinstance(operator, StepOp):
-        return {operator.out_var}
-    if isinstance(operator, UnnestOp):
-        produced = {operator.element_var}
-        if operator.index_var is not None:
-            produced.add(operator.index_var)
-        return produced
-    if isinstance(operator, MakePathOp):
-        return {operator.out_var}
-    if isinstance(operator, StructuralAttrScanOp):
-        produced = {operator.path_var, operator.out_var,
-                    operator.value_var}
-        if operator.attr_var is not None:
-            produced.add(operator.attr_var)
-        return produced
-    if isinstance(operator, (StructuralScanOp, IntervalJoinOp)):
-        return {operator.path_var, operator.out_var}
-    return set()
+    return set(operator.produces())
 
 
-def _clone_filter(select, new_child: Operator):
+def _clone_filter(select: Any,
+                  new_child: Operator) -> Operator:
     if isinstance(select, IndexFilterOp):
         return IndexFilterOp(new_child, select.variable, select.pattern,
                              select.recheck_atom,
@@ -240,7 +290,8 @@ def _rebuild_single_child(operator: Operator,
     raise TypeError(f"cannot rebuild {operator!r}")  # pragma: no cover
 
 
-def _rebuild(plan: Operator, transform) -> Operator:
+def _rebuild(plan: Operator,
+             transform: Callable[[Operator], Operator]) -> Operator:
     """Apply ``transform`` to children, reconstructing the node."""
     if isinstance(plan, ProjectOp):
         rebuilt = ProjectOp(transform(plan.child), plan.head)

@@ -89,15 +89,23 @@ class CachedArtifacts:
     optimized algebra plan (``None`` on the calculus backend).  Both are
     immutable after construction and safe to execute from several
     threads — per-run state lives in the forked evaluation context.
+
+    ``verified`` records whether the plan passed the
+    :mod:`repro.plancheck` static verifier before entering the cache
+    (always ``False`` on the calculus backend — there is no plan to
+    verify).  A cached serve never re-verifies: the flag travels with
+    the entry.
     """
 
-    __slots__ = ("query", "plan", "epoch", "key")
+    __slots__ = ("query", "plan", "epoch", "key", "verified")
 
-    def __init__(self, query, plan, epoch: int, key) -> None:
+    def __init__(self, query, plan, epoch: int, key,
+                 verified: bool = False) -> None:
         self.query = query
         self.plan = plan
         self.epoch = epoch
         self.key = key
+        self.verified = verified
 
     def __repr__(self) -> str:  # pragma: no cover
         kind = "algebra plan" if self.plan is not None else "calculus"

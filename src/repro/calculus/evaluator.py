@@ -58,7 +58,6 @@ from repro.calculus.terms import (
     MethodTerm,
     Name,
     PathApply,
-    PathTerm,
     PathVar,
     Sel,
     SetBind,

@@ -129,7 +129,7 @@ def _set_to_list(ctx, value) -> ListValue:
 
 def _sort_by(ctx, value, attribute: str) -> ListValue:
     if not isinstance(value, (SetValue, ListValue)):
-        raise EvaluationError(f"sort_by() expects a collection")
+        raise EvaluationError("sort_by() expects a collection")
     def key(item):
         if isinstance(item, TupleValue) and item.has_attribute(attribute):
             return item.get(attribute)
@@ -189,9 +189,11 @@ def _element(ctx, value) -> object:
     """``element(q)`` — the single element of a singleton collection."""
     if isinstance(value, (SetValue, ListValue)) and len(value) == 1:
         return next(iter(value))
+    size = (len(value) if isinstance(value, (SetValue, ListValue))
+            else repr(value))
     raise EvaluationError(
-        "element() expects a singleton collection, got "
-        f"{len(value) if isinstance(value, (SetValue, ListValue)) else value!r} elements")
+        f"element() expects a singleton collection, got {size} "
+        "elements")
 
 
 def _set_union(ctx, left, right) -> SetValue:

@@ -59,7 +59,6 @@ from repro.calculus.terms import (
 from repro.oodb.schema import Schema
 from repro.oodb.types import (
     AnyType,
-    AtomicType,
     BOOLEAN,
     ClassType,
     FLOAT,

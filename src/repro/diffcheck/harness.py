@@ -153,8 +153,15 @@ class DiffHarness:
         plan = error = None
         try:
             from repro.algebra.compile import compile_query
+            from repro.plancheck.verifier import check_plan
             plan = compile_query(query, engine.instance.schema,
                                  path_semantics="restricted")
+            # pre-execution static gate: a compiled plan that fails
+            # verification is itself a divergence (the label
+            # PlanVerificationError is deliberately *not* coarsened to
+            # "rejected" — the reference side succeeded)
+            check_plan(plan, query=query, stage="compile",
+                       metrics=self.metrics)
         except Exception as exc:  # compile failure hits every config
             error = _error_label(exc)
         for name in self.configs:
@@ -162,7 +169,8 @@ class DiffHarness:
                 outcomes[name] = Outcome(error=error)
                 continue
             outcomes[name] = self._run(
-                lambda name=name: self._execute(name, plan, engine))
+                lambda name=name: self._execute(name, plan, engine,
+                                                query))
         comparison = Comparison(corpus=spec, query=query,
                                 outcomes=outcomes)
         if self.metrics is not None:
@@ -182,18 +190,25 @@ class DiffHarness:
             return Outcome(error=_error_label(exc))
 
     @staticmethod
-    def _execute(name: str, plan, engine) -> SetValue:
+    def _execute(name: str, plan, engine, query=None) -> SetValue:
+        """Optimizer calls use ``verify="raise"``: every rewrite stage
+        of every configuration is gated by the plancheck verifier, and
+        a stage that breaks plan well-formedness surfaces as a
+        ``PlanVerificationError`` divergence instead of (or before) a
+        wrong result."""
         from repro.algebra.execute import execute_plan
         from repro.algebra.optimizer import optimize
         if name == "unoptimized":
             return execute_plan(plan, engine.ctx.fork())
         if name == "optimized":
-            return execute_plan(optimize(plan, factor=False),
+            return execute_plan(optimize(plan, factor=False,
+                                         verify="raise", query=query),
                                 engine.ctx.fork())
         if name == "structural":
-            return execute_plan(optimize(plan, structural=True),
+            return execute_plan(optimize(plan, structural=True,
+                                         verify="raise", query=query),
                                 engine.ctx.fork())
-        factored = optimize(plan)
+        factored = optimize(plan, verify="raise", query=query)
         if name == "factored":
             return execute_plan(factored, engine.ctx.fork())
         # cached: the same (factored) plan object re-executed on a fresh

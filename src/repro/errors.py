@@ -163,3 +163,21 @@ class PatternError(QueryError):
 
 class CompilationError(QueryError):
     """Calculus -> algebra compilation failed (Section 5.4)."""
+
+
+class PlanVerificationError(QueryError):
+    """A compiled plan failed static verification (repro.plancheck).
+
+    Deliberately *not* a :class:`CompilationError`: diffcheck coarsens
+    static rejection (safety/compilation) to one ``rejected`` label on
+    both sides, whereas a verification failure means the optimizer
+    produced an ill-formed plan — that is a bug to surface, never an
+    expected rejection.
+
+    ``faults`` carries the structured
+    :class:`~repro.plancheck.diagnostics.PlanFault` list.
+    """
+
+    def __init__(self, message: str, faults: list | None = None) -> None:
+        self.faults = list(faults or [])
+        super().__init__(message)

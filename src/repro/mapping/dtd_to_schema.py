@@ -206,7 +206,7 @@ class _Builder:
             self.constraints.add(class_name, constraint)
         self._attribute_constraints(element_name, class_name)
 
-    # -- content models ---------------------------------------------------------
+    # -- content models -------------------------------------------------------
 
     def _map_model(self, model: ContentModel, supply: MarkerSupply,
                    top_level: bool = False
@@ -379,7 +379,7 @@ class _Builder:
             return name, group_type, group_shape, constraints
         raise MappingError(f"cannot map component {part}")
 
-    # -- attributes -----------------------------------------------------------------
+    # -- attributes -----------------------------------------------------------
 
     def _append_attributes(self, element_name: str, class_name: str,
                            content_type: Type, shape: Shape

@@ -199,7 +199,7 @@ class DocumentLoader:
             return " ".join(pieces) if pieces else ""
         raise MappingError(f"unknown shape {shape!r}")
 
-    # -- attributes ---------------------------------------------------------------
+    # -- attributes -----------------------------------------------------------
 
     def _attach_attributes(self, class_name: str, element: Element,
                            value: object, oid: Oid) -> object:

@@ -132,6 +132,7 @@ class QueryEngine:
             with tracer.span("inference"):
                 infer_types(query, self.instance.schema)
         plan = None
+        verified = False
         if self.backend == "algebra":
             from repro.algebra.compile import compile_query
             from repro.algebra.execute import (
@@ -144,13 +145,27 @@ class QueryEngine:
                     query, self.instance.schema,
                     path_semantics=self.ctx.path_semantics)
                 if self.optimize:
+                    # every rewrite stage is gated by the plancheck
+                    # verifier ("warn" policy: a faulty stage is
+                    # dropped, counted and warned about, and the last
+                    # verified plan is served)
                     from repro.algebra.optimizer import optimize
-                    plan = optimize(plan, structural=self.structural)
+                    plan = optimize(plan, structural=self.structural,
+                                    query=query, metrics=metrics,
+                                    tracer=tracer)
+                    verified = True
+                else:
+                    from repro.plancheck.verifier import verify_plan
+                    with tracer.span("optimize.verify"):
+                        verified = not verify_plan(
+                            plan, query=query, stage="compile",
+                            metrics=metrics)
                 span.annotate("operators", plan_size(plan))
                 span.annotate("unions", count_unions(plan))
                 span.annotate("shared", count_shared(plan))
+                span.annotate("verified", verified)
         entry = CachedArtifacts(query=query, plan=plan, epoch=epoch,
-                                key=key)
+                                key=key, verified=verified)
         if cache is not None:
             cache.store(key, entry, metrics=metrics)
         return entry, False

@@ -102,7 +102,7 @@ class _Parser:
         token = self.peek()
         return QuerySyntaxError(message, token.line, token.column)
 
-    # -- entry points -----------------------------------------------------------
+    # -- entry points ---------------------------------------------------------
 
     def query(self):
         if self.at(KEYWORD, "select"):
@@ -130,7 +130,7 @@ class _Parser:
         components = self.path_components(require=True)
         return FromPath(PathExpr(Ident(token.value), components))
 
-    # -- path components ------------------------------------------------------------
+    # -- path components ------------------------------------------------------
 
     def path_components(self, require: bool) -> list:
         components: list = []
@@ -183,7 +183,7 @@ class _Parser:
                 and self.tokens[self.pos + 2].kind == PUNCT
                 and self.tokens[self.pos + 2].value == ")")
 
-    # -- conditions -------------------------------------------------------------------
+    # -- conditions -----------------------------------------------------------
 
     def condition(self):
         return self.or_condition()
@@ -256,7 +256,7 @@ class _Parser:
             return PatternLit(" ".join(pieces))
         raise self.error("expected a pattern after 'contains'")
 
-    # -- expressions -------------------------------------------------------------------
+    # -- expressions ----------------------------------------------------------
 
     def expression(self):
         left = self.postfix()

@@ -1,6 +1,7 @@
 """Rendering of profiled queries — the EXPLAIN ANALYZE output.
 
-:class:`ExplainReport` is what :meth:`repro.session.DocumentStore.explain_analyze`
+:class:`ExplainReport` is what
+:meth:`repro.session.DocumentStore.explain_analyze`
 returns: the executed plan annotated with *actual* per-operator row
 counts (algebra backend), the pipeline span tree, the result, and a
 structured metrics snapshot.  ``str(report)`` renders the familiar

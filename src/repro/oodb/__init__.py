@@ -22,7 +22,12 @@ from repro.oodb.schema import (
 )
 from repro.oodb.serialize import decode_value, encode_value, encoded_size
 from repro.oodb.store import HashIndex, ObjectStore
-from repro.oodb.subtyping import common_supertype, is_subtype, merge_unions, union_all
+from repro.oodb.subtyping import (
+    common_supertype,
+    is_subtype,
+    merge_unions,
+    union_all,
+)
 from repro.oodb.typecheck import infer_value_type, value_in_type
 from repro.oodb.types import (
     ANY,

@@ -127,7 +127,7 @@ class Instance:
         raise InstanceError(
             f"no implementation of method {name!r} for {receiver!r}")
 
-    # -- roots (gamma) ----------------------------------------------------------
+    # -- roots (gamma) --------------------------------------------------------
 
     def set_root(self, name: str, value: object) -> None:
         if not self.schema.has_root(name):
@@ -150,7 +150,7 @@ class Instance:
     def root_names(self) -> tuple[str, ...]:
         return tuple(self._roots)
 
-    # -- integrity -------------------------------------------------------------
+    # -- integrity ------------------------------------------------------------
 
     def check(self) -> None:
         """Verify the typing conditions of Section 5.1's instance definition.

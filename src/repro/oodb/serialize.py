@@ -25,7 +25,6 @@ tag   payload
 from __future__ import annotations
 
 import struct
-from typing import Iterator
 
 from repro.errors import StoreError
 from repro.oodb.values import (

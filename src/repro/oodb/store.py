@@ -23,15 +23,20 @@ caller supplies, and membership is re-checked on load.
 
 from __future__ import annotations
 
-import io
 import os
-from typing import Callable, Iterator
+from typing import Iterator
 
 from repro.errors import StoreError
 from repro.oodb.instance import Instance
 from repro.oodb.schema import Schema
-from repro.oodb.serialize import _Reader, _decode, _encode_into, _write_varint, _write_string
-from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
+from repro.oodb.serialize import (
+    _Reader,
+    _decode,
+    _encode_into,
+    _write_string,
+    _write_varint,
+)
+from repro.oodb.values import Oid, TupleValue
 
 _MAGIC = b"REPRO-STORE\n"
 
@@ -167,7 +172,7 @@ class ObjectStore:
             for name in self.instance.root_names)
         return total
 
-    # -- snapshots --------------------------------------------------------------
+    # -- snapshots ------------------------------------------------------------
 
     def snapshot_bytes(self) -> bytes:
         """Serialize roots and all objects to a bytes snapshot."""

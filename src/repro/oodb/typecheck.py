@@ -34,7 +34,6 @@ from repro.oodb.types import (
 )
 from repro.oodb.values import (
     ListValue,
-    NIL,
     Nil,
     Oid,
     SetValue,

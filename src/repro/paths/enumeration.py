@@ -23,7 +23,7 @@ an indexed range scan enumerates exactly what a live walk would.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.errors import EvaluationError
 from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
@@ -46,7 +46,7 @@ LEAVE = "leave"
 BLOCKED = "blocked"
 
 
-def paths_from(value: object, instance=None,
+def paths_from(value: object, instance: Any = None,
                semantics: str = RESTRICTED,
                max_paths: int | None = None) -> Iterator[tuple[Path, object]]:
     """Yield ``(path, reached_value)`` for every concrete path from
@@ -75,7 +75,7 @@ class _Counter:
                 f"path enumeration exceeded {self.limit} paths")
 
 
-def walk_events(value: object, instance=None,
+def walk_events(value: object, instance: Any = None,
                 semantics: str = RESTRICTED,
                 max_nodes: int | None = None
                 ) -> Iterator[tuple[str, Path, object, int]]:
@@ -135,7 +135,7 @@ def walk_events(value: object, instance=None,
                      level + 1))
 
 
-def enumerate_paths(value: object, instance=None,
+def enumerate_paths(value: object, instance: Any = None,
                     semantics: str = RESTRICTED,
                     max_paths: int | None = None) -> list[Path]:
     """The set of concrete paths from ``value`` as a list.
@@ -148,7 +148,8 @@ def enumerate_paths(value: object, instance=None,
         value, instance, semantics, max_paths)]
 
 
-def path_difference(new_value: object, old_value: object, instance=None,
+def path_difference(new_value: object, old_value: object,
+                    instance: Any = None,
                     semantics: str = RESTRICTED) -> list[Path]:
     """Q4: paths present in ``new_value`` but not in ``old_value``."""
     old_paths = set(enumerate_paths(old_value, instance, semantics))

@@ -15,7 +15,7 @@ gives them (Section 4.3 item 4): ``length``, projection, concatenation.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.errors import EvaluationError
 from repro.oodb.values import ListValue, Oid, SetValue, TupleValue
@@ -102,7 +102,7 @@ class Path:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Path is immutable")
 
-    # -- construction -----------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     @classmethod
     def of(cls, *parts: object) -> "Path":
@@ -151,7 +151,7 @@ class Path:
             return NotImplemented
         return Path(self.steps + other.steps)
 
-    # -- list behaviour --------------------------------------------------------------
+    # -- list behaviour -------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -159,7 +159,7 @@ class Path:
     def __iter__(self) -> Iterator[Step]:
         return iter(self.steps)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         """Standard Python indexing/slicing (0-based, end-exclusive).
 
         The paper's *inclusive* projection ``P[0:1] = .sections[0]`` is
@@ -178,7 +178,7 @@ class Path:
             return True
         return self.steps[-len(suffix.steps):] == suffix.steps
 
-    # -- equality -------------------------------------------------------------------
+    # -- equality -------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Path) and other.steps == self.steps
@@ -194,9 +194,10 @@ class Path:
     def __repr__(self) -> str:
         return f"Path({self})"
 
-    # -- application ------------------------------------------------------------------
+    # -- application ----------------------------------------------------------
 
-    def apply(self, value: object, instance=None) -> object:
+    def apply(self, value: object,
+              instance: Any = None) -> object:
         """Follow the path from ``value``; raise on a step that does not
         apply.  ``instance`` is needed when the path dereferences.
 
@@ -218,7 +219,8 @@ class Path:
 Path.EMPTY = Path()
 
 
-def apply_step(current: object, step: Step, instance=None,
+def apply_step(current: object, step: Step,
+               instance: Any = None,
                context: str = "") -> object:
     """Apply one concrete step to a value."""
     suffix = f" ({context})" if context else ""

@@ -1,0 +1,130 @@
+"""``python -m repro.plancheck`` — lint queries, verify their plans.
+
+Examples::
+
+    python -m repro.plancheck "select t from my_doc PATH_p.title(t)"
+    python -m repro.plancheck --file queries.txt --verify
+    python -m repro.plancheck --dtd my.dtd --json "select ..."
+
+Queries are checked against the Figure-1 article DTD unless ``--dtd``
+supplies another one; ``--verify`` additionally compiles each clean
+query to the algebra and runs the plan verifier over every optimizer
+configuration.  The exit status is the number of error-severity
+diagnostics plus plan faults — ``0`` means clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.oodb.schema import Schema
+
+from repro.plancheck.lint import lint_query
+from repro.plancheck.verifier import verify_plan
+
+
+def _load_schema(dtd_path: str | None) -> Schema:
+    from repro.mapping.dtd_to_schema import map_dtd
+    from repro.sgml.dtd_parser import parse_dtd
+    if dtd_path is None:
+        from repro.corpus import ARTICLE_DTD
+        dtd_text = ARTICLE_DTD
+    else:
+        with open(dtd_path) as handle:
+            dtd_text = handle.read()
+    return map_dtd(parse_dtd(dtd_text)).schema
+
+
+def _verify_query(text: str, schema: Schema) -> list:
+    """Compile ``text`` and verify the plan after every optimizer
+    configuration; returns the combined fault list."""
+    from repro.algebra.compile import compile_query
+    from repro.algebra.optimizer import optimize
+    from repro.o2sql.parser import parse
+    from repro.o2sql.translate import to_calculus
+    query = to_calculus(parse(text), schema.roots.keys())
+    plan = compile_query(query, schema)
+    faults = list(verify_plan(plan, query=query, stage="compile"))
+    for label, options in (
+            ("optimized", {"factor": False}),
+            ("factored", {}),
+            ("structural", {"structural": True})):
+        rewritten = optimize(plan, verify="off", **options)
+        faults.extend(verify_plan(rewritten, query=query, stage=label))
+    return faults
+
+
+def _as_json(text: str, diagnostics: list, faults: list) -> dict:
+    return {
+        "query": text,
+        "diagnostics": [
+            {"code": d.code, "severity": d.severity,
+             "message": d.message, "line": d.line, "column": d.column,
+             "hint": d.hint}
+            for d in diagnostics],
+        "plan_faults": [
+            {"code": f.code, "message": f.message, "stage": f.stage,
+             "operator": f.operator, "hint": f.hint}
+            for f in faults],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.plancheck",
+        description="Statically lint O₂SQL queries and verify their "
+                    "compiled plans.")
+    parser.add_argument("queries", nargs="*",
+                        help="query texts to check")
+    parser.add_argument("--file", help="read one query per non-empty "
+                        "line from this file")
+    parser.add_argument("--dtd", help="DTD file defining the schema "
+                        "(default: the built-in article DTD)")
+    parser.add_argument("--verify", action="store_true",
+                        help="also compile clean queries and verify "
+                        "the plan after every optimizer configuration")
+    parser.add_argument("--json", action="store_true",
+                        dest="as_json", help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    texts = list(args.queries)
+    if args.file:
+        with open(args.file) as handle:
+            texts.extend(line.strip() for line in handle
+                         if line.strip())
+    if not texts:
+        parser.error("no queries given (positional or --file)")
+
+    schema = _load_schema(args.dtd)
+    failures = 0
+    reports = []
+    for text in texts:
+        diagnostics = lint_query(text, schema)
+        clean = not any(d.is_error for d in diagnostics)
+        faults = []
+        if args.verify and clean:
+            faults = _verify_query(text, schema)
+        failures += sum(1 for d in diagnostics if d.is_error)
+        failures += len(faults)
+        if args.as_json:
+            reports.append(_as_json(text, diagnostics, faults))
+            continue
+        if diagnostics or faults:
+            print(f"== {text}")
+            for diagnostic in diagnostics:
+                print(diagnostic.render())
+            for fault in faults:
+                print(fault.render())
+        else:
+            print(f"ok {text}")
+    if args.as_json:
+        print(json.dumps(reports, indent=2))
+    return failures
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

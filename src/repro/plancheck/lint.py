@@ -1,0 +1,308 @@
+"""The schema-aware query linter.
+
+Reuses the front half of the pipeline (parse → translate → safety →
+type inference) and reports its rejections as positioned *error*
+diagnostics instead of exceptions, then layers schema-aware *warnings*
+over queries that pass:
+
+* ``PC-W001`` — a variable is bound but never used (it appears exactly
+  once, at its binding site);
+* ``PC-W002`` — a comparison between terms whose inferred atomic types
+  are disjoint (it can never hold on any instance);
+* ``PC-W003`` — a constant predicate (always true: redundant; always
+  false: the enclosing branch is dead);
+* ``PC-E103`` — a statically-empty path atom (no schema path matches —
+  Section 5.3's "this leads to a type error"), reported with a fix
+  hint instead of a bare exception.
+
+A query is **lint-clean** when it produces no error-severity
+diagnostics; by construction a lint-clean query passes the safety check
+and the type inference, so it can never raise
+:class:`~repro.errors.SafetyError` at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.calculus.formulas import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    In,
+    Not,
+    Or,
+    Pred,
+    Query,
+)
+from repro.calculus.inference import (
+    _term_type,
+    _walk_formula,
+    infer_types,
+)
+from repro.calculus.safety import check_safety
+from repro.calculus.terms import Const, DataVar
+from repro.errors import (
+    QueryError,
+    QuerySyntaxError,
+    QueryTypeError,
+    SafetyError,
+)
+from repro.o2sql.parser import parse
+from repro.o2sql.translate import to_calculus
+from repro.oodb.schema import Schema
+from repro.oodb.types import AtomicType, FLOAT, INTEGER
+from repro.plancheck.diagnostics import Diagnostic, position_of
+
+
+def lint_query(text: str, schema: Schema,
+               metrics: Any = None) -> list[Diagnostic]:
+    """Lint one O₂SQL query text against ``schema``.
+
+    Never raises for query problems — every front-end rejection comes
+    back as an error diagnostic; schema-aware heuristics add warnings.
+    """
+    diagnostics: list[Diagnostic] = []
+    query = _front_end(text, schema, diagnostics)
+    if query is not None:
+        _warn_unused_variables(text, query, diagnostics)
+        _warn_impossible_comparisons(text, query, schema, diagnostics)
+        _warn_constant_predicates(text, query, diagnostics)
+    if metrics is not None:
+        metrics.inc("plancheck.lint_runs")
+        if diagnostics:
+            metrics.inc("plancheck.diagnostics", len(diagnostics))
+    return diagnostics
+
+
+def _front_end(text: str, schema: Schema,
+               diagnostics: list[Diagnostic]) -> Query | None:
+    """Parse → translate → safety → inference, rejections as errors."""
+    try:
+        node = parse(text)
+    except QuerySyntaxError as exc:
+        diagnostics.append(Diagnostic(
+            "PC-E100", "error", f"syntax error: {exc}",
+            line=exc.line, column=exc.column))
+        return None
+    try:
+        query = to_calculus(node, schema.roots.keys())
+    except QueryError as exc:
+        diagnostics.append(Diagnostic(
+            "PC-E101", "error", f"translation failed: {exc}",
+            hint="check that every identifier names a persistence "
+                 "root or a bound variable"))
+        return None
+    try:
+        check_safety(query)
+    except SafetyError as exc:
+        diagnostics.append(Diagnostic(
+            "PC-E102", "error", f"query is not range-restricted: {exc}",
+            hint="every variable must be bound by a path predicate, "
+                 "a membership, or an equality with a bound term"))
+        return None
+    try:
+        infer_types(query, schema)
+    except QueryTypeError as exc:
+        message = str(exc)
+        if "can never hold" in message:
+            diagnostics.append(Diagnostic(
+                "PC-E103", "error",
+                f"statically empty path predicate: {message}",
+                hint="no schema path matches — fix the attribute "
+                     "names or start from a different root"))
+        else:
+            diagnostics.append(Diagnostic(
+                "PC-E104", "error", f"type error: {message}"))
+        return None
+    return query
+
+
+# -- warnings ---------------------------------------------------------------
+
+
+def _warn_unused_variables(text: str, query: Query,
+                           diagnostics: list[Diagnostic]) -> None:
+    """A data variable occurring exactly once is bound and forgotten.
+
+    Only user-written variables are reported: translation mints fresh
+    variables that legitimately occur once, so a name must literally
+    appear in the query text to qualify.  Path and attribute variables
+    are exempt — a single-occurrence ``PATH_p`` *is* the idiomatic
+    wildcard.
+    """
+    counts: dict = {}
+    for variable in _occurrences(query.formula):
+        counts[variable] = counts.get(variable, 0) + 1
+    head = set(query.head)
+    for variable, count in counts.items():
+        if count != 1 or variable in head:
+            continue
+        if not isinstance(variable, DataVar):
+            continue
+        if variable.name not in text:
+            continue
+        line, column = position_of(text, variable.name)
+        diagnostics.append(Diagnostic(
+            "PC-W001", "warning",
+            f"variable {variable} is bound but never used",
+            line=line, column=column, fragment=variable.name,
+            hint="drop the binding or use the variable in the select "
+                 "clause or a predicate"))
+
+
+def _occurrences(formula: Formula) -> Iterator[object]:
+    """Every variable occurrence (with repetition), atoms and
+    quantifier binders alike."""
+    if isinstance(formula, And):
+        for conjunct in formula.conjuncts:
+            yield from _occurrences(conjunct)
+    elif isinstance(formula, Or):
+        for disjunct in formula.disjuncts:
+            yield from _occurrences(disjunct)
+    elif isinstance(formula, Not):
+        yield from _occurrences(formula.child)
+    elif isinstance(formula, Implies):
+        yield from _occurrences(formula.antecedent)
+        yield from _occurrences(formula.consequent)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from _occurrences(formula.body)
+    else:
+        yield from formula._free()
+
+
+def _warn_impossible_comparisons(text: str, query: Query, schema: Schema,
+                                 diagnostics: list[Diagnostic]) -> None:
+    """Equalities whose two sides have disjoint atomic types."""
+    candidates: dict = {}
+    try:
+        _walk_formula(query.formula, schema, candidates)
+    except QueryTypeError:  # pragma: no cover - front end reported it
+        return
+    for atom in _atoms(query.formula):
+        if not isinstance(atom, Eq):
+            continue
+        left = _term_type(atom.left, schema, candidates)
+        right = _term_type(atom.right, schema, candidates)
+        if not (isinstance(left, AtomicType)
+                and isinstance(right, AtomicType)):
+            continue
+        if left == right:
+            continue
+        numeric = {INTEGER, FLOAT}
+        if left in numeric and right in numeric:
+            continue  # 1 ≡ 1.0 holds under the ≡ equivalence
+        fragment = _const_fragment(atom)
+        line, column = position_of(text, fragment)
+        diagnostics.append(Diagnostic(
+            "PC-W002", "warning",
+            f"comparison {atom} can never hold: {left} vs {right}",
+            line=line, column=column, fragment=fragment,
+            hint="the compared types are disjoint — the predicate is "
+                 "always false"))
+
+
+def _atoms(formula: Formula) -> Iterator[Formula]:
+    if isinstance(formula, And):
+        for conjunct in formula.conjuncts:
+            yield from _atoms(conjunct)
+    elif isinstance(formula, Or):
+        for disjunct in formula.disjuncts:
+            yield from _atoms(disjunct)
+    elif isinstance(formula, Not):
+        yield from _atoms(formula.child)
+    elif isinstance(formula, Implies):
+        yield from _atoms(formula.antecedent)
+        yield from _atoms(formula.consequent)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from _atoms(formula.body)
+    else:
+        yield formula
+
+
+def _const_fragment(atom: Eq) -> str | None:
+    for side in (atom.left, atom.right):
+        if isinstance(side, Const) and isinstance(side.value, str):
+            return side.value
+        if isinstance(side, DataVar):
+            return side.name
+    return None
+
+
+#: Constant comparison predicates the folder understands.
+_COMPARATORS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _warn_constant_predicates(text: str, query: Query,
+                              diagnostics: list[Diagnostic]) -> None:
+    """Atoms over constants only fold at lint time: an always-false
+    atom makes its conjunction dead, an always-true one is noise."""
+    for atom in _atoms(query.formula):
+        verdict = _fold(atom)
+        if verdict is None:
+            continue
+        fragment = _const_fragment(atom) if isinstance(atom, Eq) else None
+        line, column = position_of(text, fragment)
+        if verdict:
+            message = f"predicate {atom} is always true"
+            hint = "the predicate is redundant — drop it"
+        else:
+            message = f"predicate {atom} is always false"
+            hint = ("no row can satisfy it — the enclosing "
+                    "conjunction is dead")
+        diagnostics.append(Diagnostic(
+            "PC-W003", "warning", message,
+            line=line, column=column, fragment=fragment, hint=hint))
+
+
+def _fold(atom: Formula) -> bool | None:
+    """Truth value of a variable-free atom over atomic constants, or
+    ``None`` when it cannot be decided purely statically."""
+    if isinstance(atom, Eq):
+        left, right = _const_value(atom.left), _const_value(atom.right)
+        if left is None or right is None:
+            return None
+        if isinstance(left[0], bool) != isinstance(right[0], bool):
+            return False
+        if type(left[0]) is not type(right[0]) and not (
+                isinstance(left[0], (int, float))
+                and isinstance(right[0], (int, float))):
+            return False
+        return left[0] == right[0]
+    if isinstance(atom, Pred) and atom.predicate in _COMPARATORS:
+        if len(atom.arguments) != 2:
+            return None
+        left = _const_value(atom.arguments[0])
+        right = _const_value(atom.arguments[1])
+        if left is None or right is None:
+            return None
+        both_numbers = (isinstance(left[0], (int, float))
+                        and isinstance(right[0], (int, float))
+                        and not isinstance(left[0], bool)
+                        and not isinstance(right[0], bool))
+        both_strings = (isinstance(left[0], str)
+                        and isinstance(right[0], str))
+        if not (both_numbers or both_strings):
+            return None
+        return _COMPARATORS[atom.predicate](left[0], right[0])
+    if isinstance(atom, In) and not atom.free_variables():
+        return None  # collection constants: leave to execution
+    return None
+
+
+def _const_value(term: object) -> tuple | None:
+    """``(value,)`` for an atomic constant term, else ``None`` (the
+    tuple wrapper keeps a legitimate ``None``/``False`` payload
+    distinguishable from "not a constant")."""
+    if isinstance(term, Const) and isinstance(
+            term.value, (bool, int, float, str)):
+        return (term.value,)
+    return None

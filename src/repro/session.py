@@ -84,7 +84,7 @@ class DocumentStore:
         if structural:
             self.build_structural_index()
 
-    # -- loading ---------------------------------------------------------------
+    # -- loading --------------------------------------------------------------
 
     @property
     def instance(self):
@@ -151,7 +151,7 @@ class DocumentStore:
         self.instance.check()
         self.mapped.constraints.check_instance(self.instance)
 
-    # -- text indexing (Section 4.1) ---------------------------------------------
+    # -- text indexing (Section 4.1) ------------------------------------------
 
     def build_text_index(self) -> TextIndex:
         """Index the textual content of every object (oid-keyed)."""
@@ -165,7 +165,7 @@ class DocumentStore:
         self._engine.ctx.text_index = index
         return index
 
-    # -- structural indexing (the XPath-accelerator layer, P9) -----------------
+    # -- structural indexing (the XPath-accelerator layer, P9) ----------------
 
     def build_structural_index(self) -> StructuralIndex:
         """Build (or rebuild) the pre/post structural index over every
@@ -186,7 +186,7 @@ class DocumentStore:
         index.refresh()
         return index
 
-    # -- querying --------------------------------------------------------------
+    # -- querying -------------------------------------------------------------
 
     def query(self, text: str) -> SetValue:
         """Run extended O₂SQL; the result is always a set.
@@ -229,7 +229,7 @@ class DocumentStore:
         index probes, binding enumerations, union fan-out)."""
         return self._engine.explain_analyze(text)
 
-    # -- metrics ---------------------------------------------------------------
+    # -- metrics --------------------------------------------------------------
 
     def enable_metrics(self):
         """Install a persistent metrics registry on every layer (object
@@ -263,6 +263,18 @@ class DocumentStore:
 
     def check_query(self, text: str) -> dict:
         return self._engine.check(text)
+
+    def lint(self, text: str) -> list:
+        """Schema-aware static diagnostics for one query text
+        (:mod:`repro.plancheck`): front-end rejections (syntax, unknown
+        roots, safety, type errors) come back as *error* diagnostics
+        with positions instead of exceptions, and queries that pass get
+        *warnings* for statically-empty path atoms, impossible
+        comparisons, unused variables and constant predicates.  A query
+        with no error diagnostics is guaranteed to execute without
+        :class:`~repro.errors.SafetyError`."""
+        from repro.plancheck import lint_query
+        return lint_query(text, self.schema, metrics=self._metrics)
 
     def text(self, value: object) -> str:
         """The ``text()`` operator (inverse mapping)."""
@@ -415,7 +427,7 @@ class DocumentStore:
             store.build_structural_index()
         return store
 
-    # -- reporting ---------------------------------------------------------------
+    # -- reporting ------------------------------------------------------------
 
     def describe_schema(self) -> str:
         """The Figure-3 rendering of the mapped schema."""

@@ -90,7 +90,8 @@ class _Glushkov:
         return self.symbols[position - 1]
 
 
-def _build(model: ContentModel, g: _Glushkov) -> tuple[set[int], set[int], bool]:
+def _build(model: ContentModel,
+           g: _Glushkov) -> tuple[set[int], set[int], bool]:
     """Return (first, last, nullable) of ``model``, registering positions."""
     if isinstance(model, (Empty, AnyContent)):
         return set(), set(), True
@@ -160,7 +161,7 @@ class ContentAutomaton:
         self._accepting: list[bool] = []
         self._subset_construction()
 
-    # -- construction -----------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     def _state_id(self, positions: frozenset[int]) -> int:
         existing = self._state_ids.get(positions)
@@ -198,7 +199,7 @@ class ContentAutomaton:
                 if not known:
                     worklist.append(next_frozen)
 
-    # -- use ------------------------------------------------------------------------
+    # -- use ------------------------------------------------------------------
 
     @property
     def start_state(self) -> int:

@@ -152,7 +152,7 @@ class Dtd:
             self.add_entity(entity)
         self._automatons: dict[str, ContentAutomaton] = {}
 
-    # -- construction -----------------------------------------------------------
+    # -- construction ---------------------------------------------------------
 
     def add_element(self, declaration: ElementDecl) -> None:
         if declaration.name in self.elements:
@@ -179,7 +179,7 @@ class Dtd:
         # First declaration wins, per ISO 8879.
         table.setdefault(entity.name, entity)
 
-    # -- lookup -----------------------------------------------------------------
+    # -- lookup ---------------------------------------------------------------
 
     def element(self, name: str) -> ElementDecl:
         try:
@@ -208,7 +208,7 @@ class Dtd:
     def element_names(self) -> tuple[str, ...]:
         return tuple(self.elements)
 
-    # -- integrity ----------------------------------------------------------------
+    # -- integrity ------------------------------------------------------------
 
     def check(self) -> list[str]:
         """Static checks; returns a list of human-readable problems.

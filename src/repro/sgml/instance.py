@@ -107,7 +107,7 @@ class Element(Node):
             depth += 1
         return depth
 
-    # -- comparison ---------------------------------------------------------------
+    # -- comparison -----------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
         """Structural equality: name, attributes and children (recursively).

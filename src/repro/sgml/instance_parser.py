@@ -25,7 +25,7 @@ from __future__ import annotations
 from repro.errors import DocumentSyntaxError, EntityError
 from repro.sgml.contentmodel import PCDATA_NAME
 from repro.sgml.dtd import ATT_NAME_GROUP, Dtd
-from repro.sgml.instance import Element, Text
+from repro.sgml.instance import Element
 from repro.sgml.tokens import Cursor, NAME_CHARS, NAME_START_CHARS
 
 _PREDEFINED_ENTITIES = {
@@ -138,7 +138,7 @@ class _InstanceParser:
                 return
         raise cursor.error("unterminated declaration", DocumentSyntaxError)
 
-    # -- tags -------------------------------------------------------------------
+    # -- tags -----------------------------------------------------------------
 
     def _handle_start_tag(self) -> None:
         cursor = self.cursor
@@ -386,7 +386,7 @@ class _InstanceParser:
                 element.attributes[definition.name] = (
                     definition.default_value)
 
-    # -- character data ------------------------------------------------------------
+    # -- character data -------------------------------------------------------
 
     def _handle_text(self) -> None:
         cursor = self.cursor
@@ -401,7 +401,8 @@ class _InstanceParser:
         top = self.stack[-1]
         if not content.strip():
             # Separator whitespace: keep only where #PCDATA is live.
-            if self.keep_whitespace and self._step(top, PCDATA_NAME) is not None:
+            live = self._step(top, PCDATA_NAME) is not None
+            if self.keep_whitespace and live:
                 top.element.append_text(content)
             return
         self._make_room_for(PCDATA_NAME)

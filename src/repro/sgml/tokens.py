@@ -61,7 +61,7 @@ class Cursor:
         """Build a positioned error (caller raises it)."""
         return error_class(message, line=self.line, column=self.column)
 
-    # -- inspection -------------------------------------------------------------
+    # -- inspection -----------------------------------------------------------
 
     def at_end(self) -> bool:
         return self.pos >= len(self.text)
@@ -72,7 +72,7 @@ class Cursor:
     def startswith(self, prefix: str) -> bool:
         return self.text.startswith(prefix, self.pos)
 
-    # -- consumption --------------------------------------------------------------
+    # -- consumption ----------------------------------------------------------
 
     def advance(self, count: int = 1) -> str:
         chunk = self.text[self.pos:self.pos + count]

@@ -1,0 +1,146 @@
+"""The schema-aware query linter: one test per diagnostic code,
+positions, hints, and the ``DocumentStore.lint`` surface."""
+
+import pytest
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.errors import QueryTypeError, SafetyError
+from repro.plancheck import lint_query
+from repro.plancheck.diagnostics import position_of
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = DocumentStore(ARTICLE_DTD, backend="algebra")
+    s.load_text(SAMPLE_ARTICLE, name="my_article")
+    return s
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestErrors:
+    def test_clean_query_has_no_diagnostics(self, store):
+        assert store.lint("select t from my_article PATH_p.title(t)") == []
+
+    def test_syntax_error_with_position(self, store):
+        diags = store.lint("select from where")
+        assert codes(diags) == ["PC-E100"]
+        assert diags[0].is_error
+        assert diags[0].line == 1 and diags[0].column == 8
+
+    def test_unknown_identifier(self, store):
+        diags = store.lint("select x from x in Nonexistent_Root")
+        assert codes(diags) == ["PC-E101"]
+        assert "Nonexistent_Root" in diags[0].message
+        assert diags[0].hint
+
+    def test_unsafe_query(self, store, monkeypatch):
+        # translation only emits range-restricted shapes against this
+        # schema, so exercise the safety branch directly
+        import repro.plancheck.lint as lint
+
+        def unsafe(query):
+            raise SafetyError("head variable never positively bound")
+
+        monkeypatch.setattr(lint, "check_safety", unsafe)
+        diags = store.lint("select t from my_article PATH_p.title(t)")
+        assert codes(diags) == ["PC-E102"]
+        assert "range-restricted" in diags[0].message
+
+    def test_statically_empty_path(self, store):
+        diags = store.lint(
+            "select x from a in Articles, a PATH_p.zzz_ghost(x)")
+        assert codes(diags) == ["PC-E103"]
+        assert "can never hold" in diags[0].message
+        assert "fix the attribute names" in diags[0].hint
+
+    def test_other_type_error(self, store, monkeypatch):
+        import repro.plancheck.lint as lint
+
+        def reject(query, schema):
+            raise QueryTypeError("selector applied to an atom")
+
+        monkeypatch.setattr(lint, "infer_types", reject)
+        diags = store.lint("select t from my_article PATH_p.title(t)")
+        assert codes(diags) == ["PC-E104"]
+
+    def test_errors_stop_warning_passes(self, store):
+        # a broken front end yields exactly one error, no warnings
+        diags = store.lint("select from unusedvar where 1 = 2")
+        assert codes(diags) == ["PC-E100"]
+
+
+class TestWarnings:
+    def test_unused_variable(self, store):
+        text = ("select t from my_article PATH_p.title(t),"
+                " my_article PATH_q.status(unusedvar)")
+        diags = store.lint(text)
+        assert codes(diags) == ["PC-W001"]
+        assert not diags[0].is_error
+        assert diags[0].fragment == "unusedvar"
+        assert (diags[0].line, diags[0].column) \
+            == position_of(text, "unusedvar")
+
+    def test_head_variables_are_used(self, store):
+        assert store.lint("select t from my_article PATH_p.title(t)") == []
+
+    def test_impossible_comparison(self, store):
+        diags = store.lint(
+            "select a from a in Articles where a.status = 3")
+        assert codes(diags) == ["PC-W002"]
+        assert "string vs integer" in diags[0].message
+
+    def test_numeric_widths_are_compatible(self, store):
+        # 1 ≡ 1.0 holds under the ≡ equivalence, so PC-W002 stays
+        # silent — the constant folder still reports it as always true
+        diags = store.lint(
+            "select a from a in Articles where 1 = 1.0")
+        assert codes(diags) == ["PC-W003"]
+        assert "always true" in diags[0].message
+
+    def test_always_false_predicate(self, store):
+        diags = store.lint(
+            "select t from my_article PATH_p.title(t) where 1 = 2")
+        assert codes(diags) == ["PC-W003"]
+        assert "always false" in diags[0].message
+
+    def test_always_true_predicate_with_position(self, store):
+        text = "select t from my_article PATH_p.title(t) where 'x' = 'x'"
+        diags = store.lint(text)
+        assert codes(diags) == ["PC-W003"]
+        assert "always true" in diags[0].message
+        assert (diags[0].line, diags[0].column) == position_of(text, "x")
+
+    def test_constant_comparator_folds(self, store):
+        diags = store.lint(
+            "select t from my_article PATH_p.title(t) where 2 < 1")
+        assert codes(diags) == ["PC-W003"]
+        assert "always false" in diags[0].message
+
+
+class TestSurface:
+    def test_lint_query_is_store_lint(self, store):
+        text = "select x from a in Articles, a PATH_p.zzz_ghost(x)"
+        assert ([d.render() for d in lint_query(text, store.schema)]
+                == [d.render() for d in store.lint(text)])
+
+    def test_lint_never_raises_on_garbage(self, store):
+        for text in ("", "   ", "select", "от картины"):
+            diags = store.lint(text)
+            assert diags and all(d.is_error for d in diags)
+
+    def test_lint_counts_metrics(self, store):
+        store.reset_metrics()
+        store.enable_metrics()
+        store.lint("select t from my_article PATH_p.title(t) where 1 = 2")
+        counters = store.metrics()["counters"]
+        assert counters["plancheck.lint_runs"] == 1
+        assert counters["plancheck.diagnostics"] == 1
+
+    def test_render_carries_position_and_hint(self, store):
+        diags = store.lint("select from where")
+        rendered = diags[0].render()
+        assert rendered.startswith("1:8: error PC-E100")

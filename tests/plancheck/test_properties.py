@@ -1,0 +1,94 @@
+"""Property tests for the plancheck guarantees.
+
+* Soundness of the gate: every plan the compiler + every diffcheck
+  optimizer configuration produce from fuzzer-generated queries passes
+  the verifier (the gate never rejects a correct plan).
+* The linter's headline guarantee: a lint-clean query text never
+  raises :class:`SafetyError` at execution time.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DocumentStore
+from repro.algebra.compile import compile_query
+from repro.algebra.optimizer import optimize
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.diffcheck import DiffHarness, generate_cases
+from repro.errors import CompilationError, QueryError, SafetyError
+from repro.plancheck import verify_plan
+
+#: One optimize() call per diffcheck algebra configuration
+#: ("unoptimized" is the bare compile, "cached" re-executes "factored").
+CONFIG_OPTIONS = {
+    "optimized": {"factor": False},
+    "factored": {},
+    "structural": {"structural": True},
+}
+
+_HARNESS = DiffHarness()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_every_generated_plan_verifies(seed):
+    for case in generate_cases(2, seed=seed):
+        store = _HARNESS.store_for(case.corpus)
+        schema = store._engine.instance.schema
+        try:
+            plan = compile_query(case.query, schema,
+                                 path_semantics="restricted")
+        except CompilationError:
+            continue  # statically rejected on both sides: no plan
+        faults = verify_plan(plan, query=case.query, stage="compile")
+        assert faults == [], [f.render() for f in faults]
+        for label, options in CONFIG_OPTIONS.items():
+            rewritten = optimize(plan, verify="off", **options)
+            faults = verify_plan(rewritten, query=case.query, stage=label)
+            assert faults == [], [f.render() for f in faults]
+
+
+# -- lint-clean queries never trip the safety check at run time -------------
+
+_STORE = None
+
+
+def _shared_store():
+    global _STORE
+    if _STORE is None:
+        _STORE = DocumentStore(ARTICLE_DTD, backend="algebra")
+        _STORE.load_text(SAMPLE_ARTICLE, name="my_article")
+        _STORE.build_text_index()
+    return _STORE
+
+
+_ATTRS = st.sampled_from(["title", "status", "sections", "body",
+                          "zzz_ghost", "figure"])
+_COMPARISONS = st.sampled_from([None, "x = 'On Sets'", "x = 3",
+                                "1 = 2", "'a' = 'a'"])
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(attr=_ATTRS, comparison=_COMPARISONS,
+       root=st.sampled_from(["a in Articles", "my_article"]))
+def test_lint_clean_queries_execute_without_safety_error(
+        attr, comparison, root):
+    store = _shared_store()
+    source = "a" if root.startswith("a ") else "my_article"
+    text = f"select x from {root}, {source} PATH_p.{attr}(x)"
+    if comparison:
+        text += f" where {comparison}"
+    diagnostics = store.lint(text)
+    if any(d.is_error for d in diagnostics):
+        # a dirty query may be rejected — that is the linter doing its
+        # job; the property only constrains *clean* queries
+        with pytest.raises(QueryError):
+            store.query(text)
+        return
+    try:
+        store.query(text)
+    except SafetyError as exc:  # pragma: no cover - the property
+        pytest.fail(f"lint-clean query raised SafetyError: {exc}")
