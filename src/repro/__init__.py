@@ -13,6 +13,7 @@ The package implements the whole stack the paper describes:
 * :mod:`repro.calculus` — the formal calculus (Section 5),
 * :mod:`repro.algebra` — the algebraization (Section 5.4),
 * :mod:`repro.cache` — the prepared-query plan cache (serving path),
+* :mod:`repro.serve` — the concurrent multi-tenant query server,
 * :mod:`repro.corpus` — the paper's figures and synthetic corpora.
 
 Quickstart::
@@ -26,8 +27,10 @@ Quickstart::
 """
 
 from repro.cache import PlanCache, PreparedQuery
+from repro.serve import QueryServer
 from repro.session import DocumentStore
 
 __version__ = "1.0.0"
 
-__all__ = ["DocumentStore", "PlanCache", "PreparedQuery", "__version__"]
+__all__ = ["DocumentStore", "PlanCache", "PreparedQuery", "QueryServer",
+           "__version__"]

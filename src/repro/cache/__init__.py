@@ -16,6 +16,7 @@ cached plan is never served stale.
 
 from repro.cache.plancache import (
     CachedArtifacts,
+    EpochPin,
     PlanCache,
     normalize_query_text,
 )
@@ -23,6 +24,7 @@ from repro.cache.prepared import PreparedQuery
 
 __all__ = [
     "CachedArtifacts",
+    "EpochPin",
     "PlanCache",
     "PreparedQuery",
     "normalize_query_text",

@@ -112,6 +112,31 @@ class CachedArtifacts:
         return f"CachedArtifacts({kind}, epoch={self.epoch})"
 
 
+class EpochPin:
+    """A reader's snapshot handle over a :class:`PlanCache` epoch.
+
+    Pinning records the epoch current at construction; :attr:`stale`
+    flips as soon as any mutation bumps the cache epoch.  The serving
+    layer (:mod:`repro.serve`) pins the epoch at admission time to key
+    in-flight request collapsing and to tag every response with the
+    snapshot it reflects.
+    """
+
+    __slots__ = ("_cache", "epoch")
+
+    def __init__(self, cache: "PlanCache", epoch: int) -> None:
+        self._cache = cache
+        self.epoch = epoch
+
+    @property
+    def stale(self) -> bool:
+        """Has any mutation bumped the epoch since the pin was taken?"""
+        return self._cache.epoch != self.epoch
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EpochPin(epoch={self.epoch}, stale={self.stale})"
+
+
 class PlanCache:
     """A bounded, thread-safe, epoch-guarded artifact cache (LRU)."""
 
@@ -129,6 +154,10 @@ class PlanCache:
     def epoch(self) -> int:
         """The current data/schema epoch (monotonically increasing)."""
         return self._epoch
+
+    def pin(self) -> EpochPin:
+        """Pin the current epoch (a reader's snapshot handle)."""
+        return EpochPin(self, self._epoch)
 
     def bump_epoch(self, metrics=None) -> int:
         """Mark every cached entry stale (they are dropped lazily, on

@@ -165,6 +165,40 @@ class CompilationError(QueryError):
     """Calculus -> algebra compilation failed (Section 5.4)."""
 
 
+# ---------------------------------------------------------------------------
+# Serving subsystem (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for query-server problems (:mod:`repro.serve`)."""
+
+
+class UnknownTenantError(ServeError):
+    """A request named a tenant the server does not shard."""
+
+
+class AdmissionError(ServeError):
+    """The server refused a request at admission time (bounded queue
+    full, or the server is shut down).  Deliberately raised *before*
+    any work is queued — a rejected request costs nothing downstream."""
+
+
+class RequestTimeout(ServeError):
+    """A request's wall-clock budget expired before its result arrived.
+
+    The timeout abandons the *wait*, never the shared execution: a
+    collapsed flight keeps running for its remaining waiters."""
+
+
+class RequestCancelled(ServeError):
+    """The request was cancelled by its submitter.
+
+    Cancellation is cooperative: an execution already in flight stops
+    at its next checkpoint, and only when *every* collapsed waiter has
+    cancelled."""
+
+
 class PlanVerificationError(QueryError):
     """A compiled plan failed static verification (repro.plancheck).
 

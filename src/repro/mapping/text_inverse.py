@@ -24,9 +24,13 @@ def text_of(value: object, instance=None, provenance=None) -> str:
     ``provenance`` is the loader's ``oid number -> source Element`` map;
     when it covers the value, the original document text is returned.
     """
-    if (provenance is not None and isinstance(value, Oid)
-            and value.number in provenance):
-        return provenance[value.number].text_content()
+    if provenance is not None and isinstance(value, Oid):
+        # single atomic lookup: update_text clears the provenance map
+        # concurrently with readers, so a membership test followed by a
+        # subscript could land on either side of the clear
+        element = provenance.get(value.number)
+        if element is not None:
+            return element.text_content()
     pieces: list[str] = []
     _collect(value, instance, set(), pieces)
     return " ".join(piece for piece in pieces if piece)

@@ -9,9 +9,17 @@ on exactly, unlike wall-clock timings.
 Instrumentation sites hold a ``metrics`` attribute that is ``None`` by
 default and guard every event with one ``is not None`` check, so the
 disabled path costs a single attribute test.
+
+The registry is thread-safe: every recording and reading operation
+happens under one lock, so counters incremented from concurrent
+readers (the :mod:`repro.serve` execution pool) never lose updates —
+``a += 1`` on a plain attribute is *not* atomic under the GIL, which
+the serve-layer stress tests would surface as drifting totals.
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class Counter:
@@ -65,31 +73,42 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """A flat namespace of counters and histograms."""
+    """A flat, thread-safe namespace of counters and histograms."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        found = self._counters.get(name)
-        if found is None:
-            found = self._counters[name] = Counter(name)
-        return found
+        with self._lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter(name)
+            return found
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self.counter(name).inc(amount)
+        with self._lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter(name)
+            found.value += amount
 
     def histogram(self, name: str) -> Histogram:
-        found = self._histograms.get(name)
-        if found is None:
-            found = self._histograms[name] = Histogram(name)
-        return found
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(name)
+            return found
 
     def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(name)
+            found.observe(value)
 
     # -- reading -------------------------------------------------------------
 
@@ -100,17 +119,21 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Structured, JSON-friendly copy of every metric."""
-        return {
-            "counters": {name: counter.value
-                         for name, counter in sorted(self._counters.items())},
-            "histograms": {name: histogram.summary()
-                           for name, histogram
-                           in sorted(self._histograms.items())},
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())},
+                "histograms": {
+                    name: histogram.summary()
+                    for name, histogram
+                    in sorted(self._histograms.items())},
+            }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"MetricsRegistry(counters={len(self._counters)}, "

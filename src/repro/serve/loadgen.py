@@ -1,0 +1,169 @@
+"""A deterministic load generator for :class:`~repro.serve.QueryServer`.
+
+The generator drives mixed read/update traffic through the server the
+way the paper's workload section sizes it: a pool of client threads
+each issuing queries drawn from a fixed set, a configurable
+*hot fraction* of duplicated queries (what makes request collapsing
+pay), and optionally a writer thread applying in-database edits while
+the readers run.  Latency is recorded per response; the report carries
+qps and the p50/p90/p99 percentiles the benchmark emits to
+``BENCH_SERVE.json``.
+
+Everything is seeded — two runs with the same knobs produce the same
+request sequence — so benchmark deltas mean the *server* changed, not
+the traffic.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.errors import ServeError
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+class LoadReport:
+    """The outcome of one generator run."""
+
+    __slots__ = ("submitted", "completed", "errors", "rejected",
+                 "collapsed", "elapsed", "latencies")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected = 0
+        self.collapsed = 0
+        self.elapsed = 0.0
+        self.latencies: list[float] = []
+
+    @property
+    def qps(self) -> float:
+        return (self.completed / self.elapsed) if self.elapsed else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile in milliseconds."""
+        return percentile(self.latencies, fraction) * 1000.0
+
+    def summary(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "collapsed": self.collapsed,
+            "elapsed_seconds": self.elapsed,
+            "qps": self.qps,
+            "p50_ms": self.latency_percentile(0.50),
+            "p90_ms": self.latency_percentile(0.90),
+            "p99_ms": self.latency_percentile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"LoadReport(completed={self.completed}, "
+                f"qps={self.qps:.1f}, "
+                f"p99={self.latency_percentile(0.99):.2f}ms)")
+
+
+class LoadGenerator:
+    """Drive seeded mixed traffic at a server.
+
+    ``queries`` is the read pool; ``hot_fraction`` of requests repeat
+    the single *hot* query (the first of the pool) to create the
+    duplicate bursts collapsing exists for; the rest draw uniformly.
+    ``clients`` threads each issue ``requests_per_client`` reads.
+    ``writer`` (optional) is a zero-argument callable applying one
+    mutation; it runs in its own thread every ``write_interval``
+    seconds until the readers drain.
+    """
+
+    def __init__(self, server, tenant: str, queries: list[str],
+                 clients: int = 4, requests_per_client: int = 50,
+                 hot_fraction: float = 0.0, seed: int = 0,
+                 writer=None, write_interval: float = 0.005,
+                 timeout: float = 30.0) -> None:
+        if not queries:
+            raise ValueError("need at least one query")
+        self.server = server
+        self.tenant = tenant
+        self.queries = list(queries)
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.hot_fraction = hot_fraction
+        self.seed = seed
+        self.writer = writer
+        self.write_interval = write_interval
+        self.timeout = timeout
+
+    def _plan_client(self, index: int) -> list[str]:
+        rng = random.Random(self.seed * 100_003 + index)
+        plan = []
+        for _ in range(self.requests_per_client):
+            if rng.random() < self.hot_fraction:
+                plan.append(self.queries[0])
+            else:
+                plan.append(rng.choice(self.queries))
+        return plan
+
+    def run(self) -> LoadReport:
+        report = LoadReport()
+        lock = threading.Lock()
+        stop_writer = threading.Event()
+
+        def client(index: int) -> None:
+            for text in self._plan_client(index):
+                with lock:
+                    report.submitted += 1
+                started = time.perf_counter()
+                try:
+                    result = self.server.query(
+                        self.tenant, text, timeout=self.timeout)
+                except ServeError:
+                    with lock:
+                        report.rejected += 1
+                    continue
+                except Exception:
+                    with lock:
+                        report.errors += 1
+                    continue
+                latency = time.perf_counter() - started
+                with lock:
+                    report.completed += 1
+                    report.latencies.append(latency)
+                    if result.collapsed:
+                        report.collapsed += 1
+
+        def writer_loop() -> None:
+            while not stop_writer.wait(self.write_interval):
+                self.writer()
+
+        threads = [
+            threading.Thread(target=client, args=(index,), daemon=True)
+            for index in range(self.clients)
+        ]
+        writer_thread = None
+        if self.writer is not None:
+            writer_thread = threading.Thread(
+                target=writer_loop, daemon=True)
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        if writer_thread is not None:
+            writer_thread.start()
+        for thread in threads:
+            thread.join()
+        report.elapsed = time.perf_counter() - started
+        if writer_thread is not None:
+            stop_writer.set()
+            writer_thread.join()
+        return report

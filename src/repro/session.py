@@ -12,7 +12,10 @@ extended-O₂SQL queries (Q1–Q6)::
 
 from __future__ import annotations
 
-from repro.cache import PlanCache, PreparedQuery
+import threading
+from contextlib import contextmanager
+
+from repro.cache import EpochPin, PlanCache, PreparedQuery
 from repro.errors import MappingError
 from repro.mapping.dtd_to_schema import MappedSchema, map_dtd
 from repro.mapping.loader import DocumentLoader
@@ -56,7 +59,26 @@ def _root_type(value: object, instance):
 
 
 class DocumentStore:
-    """An SGML document database over the extended O₂ model."""
+    """An SGML document database over the extended O₂ model.
+
+    **Concurrency model** (the contract :mod:`repro.serve` builds on).
+    Reads are lock-free: every query executes on a fork of the engine's
+    evaluation context (:meth:`~repro.calculus.evaluator.EvalContext.fork`),
+    plans and cache entries are immutable once published, and the plan
+    cache itself is lock-protected.  Writes (:meth:`load_text`,
+    :meth:`load_tree`, :meth:`define_name`, :meth:`update_text`) are
+    serialized on one writer lock and run inside :meth:`mutating`, a
+    seqlock-style fence: :attr:`write_seq` is odd exactly while a
+    mutation is applying.  A reader that samples an even ``write_seq``
+    before a query and observes the same value afterwards is guaranteed
+    a result consistent with the epoch it pinned — writers never wait
+    for readers, and a reader that raced a writer simply retries (see
+    ``repro.serve.QueryServer``).  Mutators publish by atomic swap
+    wherever a reader could be navigating (persistence roots are
+    rebound to freshly built collections; object values are rebound,
+    never edited in place), so a torn traversal can at worst observe a
+    mix of epochs — which the fence detects — never a crash.
+    """
 
     def __init__(self, dtd_text: str, path_semantics: str = "restricted",
                  backend: str = "calculus", optimize: bool = True,
@@ -81,8 +103,49 @@ class DocumentStore:
         self.struct_index: StructuralIndex | None = None
         self._metrics = None
         self._parents: dict[Oid, list[Oid]] | None = None
+        #: Writer coordination: mutations serialize on this lock and
+        #: run inside :meth:`mutating`, which keeps :attr:`write_seq`
+        #: odd for their duration (a seqlock readers validate against).
+        self._write_lock = threading.RLock()
+        self._write_seq = 0
+        self._mutation_depth = 0
         if structural:
             self.build_structural_index()
+
+    # -- writer fence (snapshot-epoch serving protocol) -----------------------
+
+    @property
+    def write_seq(self) -> int:
+        """The seqlock counter: odd exactly while a mutation applies.
+
+        A reader that samples an even value before a query and reads
+        the same value afterwards overlapped no writer — its result is
+        consistent with the epoch pinned between the two samples."""
+        return self._write_seq
+
+    @contextmanager
+    def mutating(self):
+        """Run one mutation under the writer lock with the seqlock
+        held odd.  Reentrant: nested mutators (``load_tree`` calls
+        ``define_name``) count as one fence."""
+        with self._write_lock:
+            self._mutation_depth += 1
+            if self._mutation_depth == 1:
+                self._write_seq += 1
+            try:
+                yield
+            finally:
+                self._mutation_depth -= 1
+                if self._mutation_depth == 0:
+                    self._write_seq += 1
+
+    @contextmanager
+    def excluding_writers(self):
+        """Hold the writer lock *without* mutating — the consistency
+        fallback a reader takes after repeated seqlock conflicts (it
+        briefly blocks writers; it never tears)."""
+        with self._write_lock:
+            yield
 
     # -- loading --------------------------------------------------------------
 
@@ -108,14 +171,16 @@ class DocumentStore:
             if problems:
                 raise MappingError(
                     "invalid document: " + "; ".join(problems))
-        first_new = self.instance._next_oid  # oids this load will create
-        oid = self.loader.load(tree)
-        self._absorb_new_objects(first_new)
-        if name is not None:
-            self.define_name(name, oid)
-        self._bump_epoch()
-        if self.struct_index is not None:
-            self.struct_index.note_data_change(epoch=self.plan_cache.epoch)
+        with self.mutating():
+            first_new = self.instance._next_oid  # oids the load creates
+            oid = self.loader.load(tree)
+            self._absorb_new_objects(first_new)
+            if name is not None:
+                self.define_name(name, oid)
+            self._bump_epoch()
+            if self.struct_index is not None:
+                self.struct_index.note_data_change(
+                    epoch=self.plan_cache.epoch)
         return oid
 
     def _absorb_new_objects(self, first_new: int) -> None:
@@ -137,12 +202,14 @@ class DocumentStore:
 
     def define_name(self, name: str, value: object) -> None:
         """Register an extra persistence root (an O₂ *name*)."""
-        self.schema.roots[name] = _root_type(value, self.instance)
-        self.instance.set_root(name, value)
-        # a new root changes what identifiers translate to
-        self._bump_epoch()
-        if self.struct_index is not None:
-            self.struct_index.note_data_change(epoch=self.plan_cache.epoch)
+        with self.mutating():
+            self.schema.roots[name] = _root_type(value, self.instance)
+            self.instance.set_root(name, value)
+            # a new root changes what identifiers translate to
+            self._bump_epoch()
+            if self.struct_index is not None:
+                self.struct_index.note_data_change(
+                    epoch=self.plan_cache.epoch)
 
     # -- integrity ------------------------------------------------------------
 
@@ -154,16 +221,22 @@ class DocumentStore:
     # -- text indexing (Section 4.1) ------------------------------------------
 
     def build_text_index(self) -> TextIndex:
-        """Index the textual content of every object (oid-keyed)."""
-        index = TextIndex()
-        for oid in self.instance.all_oids():
-            content = text_of(oid, self.instance, self.loader.provenance)
-            if content:
-                index.add(oid, content)
-        index.metrics = self._metrics
-        self.text_index = index
-        self._engine.ctx.text_index = index
-        return index
+        """Index the textual content of every object (oid-keyed).
+
+        The index is built off to the side and published by atomic
+        assignment, so concurrent readers see either no index or the
+        complete one — never a half-built state."""
+        with self._write_lock:
+            index = TextIndex()
+            for oid in self.instance.all_oids():
+                content = text_of(oid, self.instance,
+                                  self.loader.provenance)
+                if content:
+                    index.add(oid, content)
+            index.metrics = self._metrics
+            self.text_index = index
+            self._engine.ctx.text_index = index
+            return index
 
     # -- structural indexing (the XPath-accelerator layer, P9) ----------------
 
@@ -175,16 +248,17 @@ class DocumentStore:
         the facade keeps it fresh afterwards — loads and new names mark
         everything dirty, :meth:`update_text` marks only the blocks
         containing the edited object."""
-        index = self.struct_index
-        if index is None:
-            index = StructuralIndex(self.instance,
-                                    epoch_source=self.plan_cache)
-            index.metrics = self._metrics
-            self.struct_index = index
-            self._engine.ctx.struct_index = index
-        index.note_data_change(epoch=self.plan_cache.epoch)
-        index.refresh()
-        return index
+        with self._write_lock:
+            index = self.struct_index
+            if index is None:
+                index = StructuralIndex(self.instance,
+                                        epoch_source=self.plan_cache)
+                index.metrics = self._metrics
+                self.struct_index = index
+                self._engine.ctx.struct_index = index
+            index.note_data_change(epoch=self.plan_cache.epoch)
+            index.refresh()
+            return index
 
     # -- querying -------------------------------------------------------------
 
@@ -212,6 +286,17 @@ class DocumentStore:
     def epoch(self) -> int:
         """The store's data/schema epoch (bumped by every mutation)."""
         return self.plan_cache.epoch
+
+    def pin_epoch(self) -> EpochPin:
+        """Pin the current epoch; the handle's ``stale`` property flips
+        on the next mutation (see :class:`repro.cache.EpochPin`)."""
+        return self.plan_cache.pin()
+
+    def cache_key(self, text: str) -> tuple:
+        """The plan-cache key of ``text`` under this store's engine
+        configuration — what :mod:`repro.serve` collapses identical
+        in-flight requests on."""
+        return self._engine.cache_key(text)
 
     def _bump_epoch(self) -> None:
         self.plan_cache.bump_epoch(metrics=self._metrics)
@@ -314,29 +399,32 @@ class DocumentStore:
         the plan-cache epoch is bumped, so a cached index-backed plan
         re-probes the fresh postings on its recompile).
         """
-        value = self.instance.deref(oid)
         from repro.oodb.values import TupleValue
         from repro.mapping.naming import TEXT_FIELD
-        if not (isinstance(value, TupleValue)
-                and value.has_attribute(TEXT_FIELD)):
-            raise MappingError(
-                f"object {oid!r} carries no character data")
-        self.store.update_object(oid, value.replace(TEXT_FIELD, new_text))
-        # The source-document snapshot is stale for this object and all
-        # its ancestors; drop provenance entirely so text() switches to
-        # the (always current) structural reconstruction.
-        self.loader.provenance.clear()
-        if self.text_index is not None:
-            for target in self._ancestry(oid):
-                content = text_of(target, self.instance,
-                                  self.loader.provenance)
-                self.text_index.replace(target, content or "")
-        self._bump_epoch()
-        if self.struct_index is not None:
-            # targeted staleness: only the interval blocks whose arrays
-            # contain the edited object are rebuilt on the next refresh
-            self.struct_index.note_object_update(
-                oid, epoch=self.plan_cache.epoch)
+        with self.mutating():
+            value = self.instance.deref(oid)
+            if not (isinstance(value, TupleValue)
+                    and value.has_attribute(TEXT_FIELD)):
+                raise MappingError(
+                    f"object {oid!r} carries no character data")
+            self.store.update_object(
+                oid, value.replace(TEXT_FIELD, new_text))
+            # The source-document snapshot is stale for this object and
+            # all its ancestors; drop provenance entirely so text()
+            # switches to the (always current) structural reconstruction.
+            self.loader.provenance.clear()
+            if self.text_index is not None:
+                for target in self._ancestry(oid):
+                    content = text_of(target, self.instance,
+                                      self.loader.provenance)
+                    self.text_index.replace(target, content or "")
+            self._bump_epoch()
+            if self.struct_index is not None:
+                # targeted staleness: only the interval blocks whose
+                # arrays contain the edited object are rebuilt on the
+                # next refresh
+                self.struct_index.note_object_update(
+                    oid, epoch=self.plan_cache.epoch)
 
     # -- containment (for incremental index maintenance) --------------------
 

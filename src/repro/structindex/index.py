@@ -392,9 +392,12 @@ class StructuralIndex:
         for oid in old.oids:
             entries = self._oid_nodes.get(oid)
             if entries is not None:
-                entries[:] = [entry for entry in entries
-                              if entry[0] != name]
-                if not entries:
+                # copy-on-write: swap a fresh list in so a reader that
+                # grabbed the old one keeps a consistent snapshot
+                kept = [entry for entry in entries if entry[0] != name]
+                if kept:
+                    self._oid_nodes[oid] = kept
+                else:
                     del self._oid_nodes[oid]
         for key in old.value_ids:
             entry = self._value_nodes.get(key)
@@ -407,27 +410,37 @@ class StructuralIndex:
         """A *complete* occurrence of ``source`` as ``(block, pre)``,
         or ``None`` (unindexed value, or every occurrence truncated).
         Oids match by value (equal oids are the same allocation); any
-        other node matches by object identity."""
+        other node matches by object identity.
+
+        The lookup itself runs under the index lock (a rebuild may be
+        swapping blocks concurrently), but the returned :class:`Block`
+        is immutable once published: the caller scans it lock-free, and
+        a rebuild racing the scan installs a *new* block object — the
+        held one keeps serving a consistent snapshot of the epoch it
+        was built at (the serving layer's write fence decides whether
+        that snapshot is current enough to return)."""
         self.refresh()
-        if isinstance(source, Oid):
-            for name, pre in self._oid_nodes.get(source, ()):
-                block = self._blocks.get(name)
-                if block is not None and block.complete[pre]:
-                    return block, pre
-            return None
-        entry = self._value_nodes.get(id(source))
-        if entry is None:
-            return None
-        name, pre = entry
-        block = self._blocks.get(name)
-        if block is None or block.values[pre] is not source:
-            return None
-        return block, pre
+        with self._lock:
+            if isinstance(source, Oid):
+                for name, pre in self._oid_nodes.get(source, ()):
+                    block = self._blocks.get(name)
+                    if block is not None and block.complete[pre]:
+                        return block, pre
+                return None
+            entry = self._value_nodes.get(id(source))
+            if entry is None:
+                return None
+            name, pre = entry
+            block = self._blocks.get(name)
+            if block is None or block.values[pre] is not source:
+                return None
+            return block, pre
 
     @property
     def blocks(self) -> dict[str, Block]:
         """Root name → block (read-only view for tests/diagnostics)."""
-        return dict(self._blocks)
+        with self._lock:
+            return dict(self._blocks)
 
     def stats(self) -> dict:
         with self._lock:

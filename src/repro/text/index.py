@@ -6,10 +6,23 @@ caller-chosen (typically oids).  The optimizer (Section 5.4 + 4.1) uses
 index probe: the returned key set is exact for positive boolean
 combinations of literal patterns and a safe superset otherwise (``None``
 means "no pruning possible, scan").
+
+**Concurrency contract** (what the serving layer relies on).  Mutators
+(:meth:`TextIndex.add`, :meth:`TextIndex.remove`,
+:meth:`TextIndex.replace`) serialize on an internal lock.  Probes are
+lock-free: a posting list is only ever *swapped* for a freshly built
+one (:meth:`TextIndex.remove` never filters in place) or appended to
+(:meth:`TextIndex.add`), so a reader holding a list reference iterates
+a consistent per-token snapshot — it may be one edit stale, it is
+never torn mid-filter.  Consistency *across* tokens (a phrase probe
+spanning several posting lists while an edit lands) is the caller's
+job: :class:`~repro.serve.QueryServer` validates every read against
+the store's write fence and retries reads that overlapped a writer.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterable
 
 from repro.text.nfa import cached_matcher
@@ -43,6 +56,8 @@ class TextIndex:
         # touch only the key's own posting lists instead of scanning the
         # whole vocabulary
         self._doc_tokens: dict[Hashable, dict[str, int]] = {}
+        # serializes mutators; probes stay lock-free (see module doc)
+        self._mutation_lock = threading.RLock()
         #: optional repro.observe MetricsRegistry; ``None`` = disabled
         self.metrics = None
 
@@ -51,13 +66,14 @@ class TextIndex:
     def add(self, key: Hashable, text: str) -> int:
         """Index ``text`` under ``key``; returns the token count."""
         tokens = tokenize(text)
-        base = self._documents.get(key, 0)
-        counts = self._doc_tokens.setdefault(key, {})
-        for offset, token in enumerate(tokens):
-            self._postings.setdefault(token, []).append(
-                (key, base + offset))
-            counts[token] = counts.get(token, 0) + 1
-        self._documents[key] = base + len(tokens)
+        with self._mutation_lock:
+            base = self._documents.get(key, 0)
+            counts = self._doc_tokens.setdefault(key, {})
+            for offset, token in enumerate(tokens):
+                self._postings.setdefault(token, []).append(
+                    (key, base + offset))
+                counts[token] = counts.get(token, 0) + 1
+            self._documents[key] = base + len(tokens)
         return len(tokens)
 
     def remove(self, key: Hashable) -> int:
@@ -68,24 +84,30 @@ class TextIndex:
         Only the key's own tokens (from the reverse map) are visited —
         ``text.remove_postings_touched`` counts them, and stays
         independent of the rest of the vocabulary.
+
+        Surviving posting lists are *rebuilt and swapped in*, never
+        filtered in place: a concurrent probe holding the old list
+        keeps iterating a consistent (one-edit-stale) snapshot.
         """
-        removed = self._documents.pop(key, None)
-        if removed is None:
-            return 0
-        counts = self._doc_tokens.pop(key, {})
-        for token, occurrences in counts.items():
-            if self.metrics is not None:
-                self.metrics.inc("text.remove_postings_touched")
-            postings = self._postings.get(token)
-            if postings is None:  # pragma: no cover - defensive
-                continue
-            if len(postings) == occurrences:
-                # the key owned the whole posting list: drop the token
-                # without filtering
-                del self._postings[token]
-            else:
-                postings[:] = [entry for entry in postings
-                               if entry[0] != key]
+        with self._mutation_lock:
+            removed = self._documents.pop(key, None)
+            if removed is None:
+                return 0
+            counts = self._doc_tokens.pop(key, {})
+            for token, occurrences in counts.items():
+                if self.metrics is not None:
+                    self.metrics.inc("text.remove_postings_touched")
+                postings = self._postings.get(token)
+                if postings is None:  # pragma: no cover - defensive
+                    continue
+                if len(postings) == occurrences:
+                    # the key owned the whole posting list: drop the
+                    # token without filtering
+                    del self._postings[token]
+                else:
+                    # copy-on-write: publish a fresh list atomically
+                    self._postings[token] = [
+                        entry for entry in postings if entry[0] != key]
         if self.metrics is not None:
             self.metrics.inc("text.removals")
         return removed
@@ -95,10 +117,11 @@ class TextIndex:
         maintenance step an in-database edit needs); returns the new
         token count.  Unlike a bare :meth:`add`, old postings are
         removed first, so the entry reflects only the new content."""
-        self.remove(key)
-        if self.metrics is not None:
-            self.metrics.inc("text.reindexed")
-        return self.add(key, text)
+        with self._mutation_lock:
+            self.remove(key)
+            if self.metrics is not None:
+                self.metrics.inc("text.reindexed")
+            return self.add(key, text)
 
     @property
     def document_count(self) -> int:

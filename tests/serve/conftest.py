@@ -1,0 +1,55 @@
+"""Shared fixtures for the serving-layer battery.
+
+``build_store`` mirrors the cache concurrency suite: the paper's
+sample article plus a small generated corpus, with both indexes built
+so reads exercise the index-backed plans the writer invalidates.
+"""
+
+import pytest
+
+from repro import DocumentStore, QueryServer
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+
+# the paper's queries (tests/observe/test_backend_parity.py) — the
+# serving read mix
+Q1 = """
+    select tuple (t: a.title, f_author: first(a.authors))
+    from a in Articles, s in a.sections
+    where s.title contains ("SGML" and "OODBMS")
+"""
+Q2 = "select ss from a in Articles, s in a.sections, ss in s.subsectns"
+Q3 = "select t from my_article PATH_p.title(t)"
+Q4 = "my_article PATH_p - my_old_article PATH_p"
+Q5 = """
+    select name(ATT_a) from my_article PATH_p.ATT_a(val)
+    where val contains ("final")
+"""
+Q6 = "select s.title from a in Articles, s in a.sections"
+
+QUERY_MIX = [Q1, Q2, Q3, Q4, Q5, Q6]
+
+
+def build_store(documents: int = 3, backend: str = "algebra",
+                indexes: bool = True) -> DocumentStore:
+    store = DocumentStore(ARTICLE_DTD, backend=backend)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    store.load_text(SAMPLE_ARTICLE, name="my_old_article")
+    for tree in generate_corpus(documents, seed=42):
+        store.load_tree(tree, validate=False)
+    if indexes:
+        store.build_text_index()
+        store.build_structural_index()
+    return store
+
+
+@pytest.fixture
+def store():
+    return build_store()
+
+
+@pytest.fixture
+def server(store):
+    with QueryServer(workers=4) as srv:
+        srv.add_tenant("acme", store)
+        yield srv

@@ -1,0 +1,101 @@
+"""Property test for request collapsing.
+
+For any burst of concurrent submissions drawn from a seeded query
+pool, the server must balance its collapse ledger exactly —
+
+    serve.collapsed + serve.flights == serve.submitted
+
+— and every waiter of a collapsed key must receive the *same*
+``SetValue`` (the one execution, fanned out), equal to what the bare
+store answers.  The pool is parameterized with hypothesis over the
+diffcheck query generator's vocabulary (``PATTERNS`` /
+``ATTRIBUTES``), so the burst shape (which texts, how many duplicates,
+and the submission interleaving) varies per example while remaining
+fully replayable from the seed.
+
+Execution is gated behind the ``_TEST_DELAY`` hook: every flight
+parks until the whole burst is submitted, making the collapse
+decision — taken at submit time under the server lock — deterministic
+per example.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryServer
+from repro.diffcheck.generator import ATTRIBUTES, PATTERNS
+from repro.serve import server as server_module
+from tests.serve.conftest import build_store
+
+# the seeded pool: contains-filtered section scans over the diffcheck
+# vocabulary plus plain attribute projections — every text is a valid
+# query over the Figure-1 schema, and distinct texts have distinct
+# plan-cache keys
+POOL = [
+    f'select s.title from a in Articles, s in a.sections '
+    f'where s.title contains ("{pattern}")'
+    for pattern in PATTERNS if " " not in pattern
+] + [
+    f"select a.{attribute} from a in Articles"
+    for attribute in ATTRIBUTES[:4]
+]
+
+
+@pytest.fixture(scope="module")
+def served():
+    store = build_store()
+    oracle = {text: store.query(text) for text in POOL}
+    server = QueryServer(workers=4, max_pending=512)
+    server.add_tenant("acme", store)
+    yield server, oracle
+    server.close()
+
+
+@given(burst=st.lists(st.integers(0, len(POOL) - 1),
+                      min_size=1, max_size=24))
+@settings(max_examples=40, deadline=None)
+def test_collapse_ledger_balances_and_waiters_agree(served, burst):
+    server, oracle = served
+    before = {
+        name: server.metrics.get(f"serve.{name}")
+        for name in ("submitted", "flights", "collapsed")}
+
+    gate = threading.Event()
+    server_module._TEST_DELAY = (
+        lambda stage, flight: gate.wait(30)
+        if stage == "executing" else None)
+    try:
+        requests = [(index, server.submit("acme", POOL[index]))
+                    for index in burst]
+    finally:
+        gate.set()
+        server_module._TEST_DELAY = None
+
+    results = [(index, request.result(timeout=60))
+               for index, request in requests]
+
+    delta = {
+        name: server.metrics.get(f"serve.{name}") - before[name]
+        for name in ("submitted", "flights", "collapsed")}
+
+    # the ledger balances exactly
+    assert delta["submitted"] == len(burst)
+    assert delta["collapsed"] + delta["flights"] == delta["submitted"]
+    # gated burst: one flight per distinct text, the rest collapsed
+    assert delta["flights"] == len(set(burst))
+    assert delta["collapsed"] == len(burst) - len(set(burst))
+
+    # every waiter got the one fanned-out value, equal to the oracle
+    first_value = {}
+    for index, result in results:
+        assert result.value == oracle[POOL[index]]
+        seen = first_value.setdefault(index, result.value)
+        assert result.value == seen
+    # exactly one leader (non-collapsed) per distinct text
+    for index in set(burst):
+        leaders = [r for i, r in results
+                   if i == index and not r.collapsed]
+        assert len(leaders) == 1

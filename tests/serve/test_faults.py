@@ -1,0 +1,189 @@
+"""Deterministic fault injection via the ``_TEST_DELAY`` hook.
+
+The serve module exposes the plancheck ``_TEST_MUTATION`` idiom: a
+module-level hook called at named stages of the execution path —
+``"executing"`` (worker picked the flight up) and ``"pinned"`` (epoch
+pinned, about to run the query).  Stalling or mutating at those points
+forces, on demand, the paths a production race would only hit
+probabilistically:
+
+* timeout — the wait expires while the flight is parked; the shared
+  execution survives and later waiters still get the value;
+* cancellation — every waiter cancels while parked; the flight aborts
+  at its next checkpoint without executing (``serve.aborted``);
+* epoch bump during a read — a mutation lands inside the pinned
+  window; the seqlock validation discards the overlapped read, counts
+  ``serve.epoch_conflicts``, and the retry returns a value consistent
+  at the *new* epoch — stale-but-consistent is allowed, a torn read
+  never escapes;
+* persistent conflict — a mutation lands inside *every* retry window;
+  the consistency fallback takes the writer lock once and still
+  produces an exact single-epoch answer.
+"""
+
+import threading
+
+import pytest
+
+from repro import QueryServer
+from repro.errors import RequestCancelled, RequestTimeout
+from repro.serve import server as server_module
+from tests.serve.conftest import Q3, Q6, build_store
+
+EDIT_TARGET = "select s.title from a in Articles, s in a.sections"
+
+
+@pytest.fixture(autouse=True)
+def _clean_hook():
+    yield
+    server_module._TEST_DELAY = None
+
+
+@pytest.fixture
+def store():
+    return build_store()
+
+
+def _title(store):
+    return min(store.query(EDIT_TARGET), key=lambda o: o.number)
+
+
+class TestTimeoutPath:
+    def test_forced_timeout_leaves_the_flight_alive(self, store):
+        gate = threading.Event()
+        server_module._TEST_DELAY = (
+            lambda stage, flight: gate.wait(30)
+            if stage == "executing" else None)
+        with QueryServer(workers=1) as server:
+            server.add_tenant("acme", store)
+            early = server.submit("acme", Q3)
+            late = server.submit("acme", Q3)  # collapses onto early
+            with pytest.raises(RequestTimeout):
+                early.result(timeout=0.05)
+            gate.set()
+            # the shared execution outlived the abandoned wait: the
+            # collapsed waiter still gets the fanned-out value...
+            assert len(late.result(timeout=30).value) == 3
+            # ...and so does the timed-out request's future
+            assert len(early.result(timeout=30).value) == 3
+            assert server.metrics.get("serve.timeouts") == 1
+            assert server.metrics.get("serve.executed") == 1
+
+
+class TestCancellationPath:
+    def test_all_waiters_cancelled_aborts_the_flight(self, store):
+        parked = threading.Event()
+        release = threading.Event()
+
+        def hook(stage, flight):
+            if stage == "executing":
+                parked.set()
+                release.wait(30)
+
+        server_module._TEST_DELAY = hook
+        with QueryServer(workers=1) as server:
+            server.add_tenant("acme", store)
+            requests = [server.submit("acme", Q3) for _ in range(3)]
+            assert parked.wait(30)
+            for request in requests:
+                assert request.cancel() is True
+            release.set()
+            for request in requests:
+                with pytest.raises(RequestCancelled):
+                    request.result(timeout=30)
+            # the flight hit its checkpoint and aborted: no execution
+            server.query("acme", Q6, timeout=30)  # drain the pool
+            assert server.metrics.get("serve.aborted") == 1
+            assert server.metrics.get("serve.cancelled") == 3
+
+    def test_one_live_waiter_keeps_the_flight_running(self, store):
+        parked = threading.Event()
+        release = threading.Event()
+
+        def hook(stage, flight):
+            if stage == "executing":
+                parked.set()
+                release.wait(30)
+
+        server_module._TEST_DELAY = hook
+        with QueryServer(workers=1) as server:
+            server.add_tenant("acme", store)
+            quitter = server.submit("acme", Q3)
+            stayer = server.submit("acme", Q3)
+            assert parked.wait(30)
+            assert quitter.cancel() is True
+            release.set()
+            # one waiter cancelled, one stayed: execution completes
+            assert len(stayer.result(timeout=30).value) == 3
+            assert server.metrics.get("serve.executed") == 1
+            assert server.metrics.get("serve.aborted") == 0
+
+
+class TestEpochBumpDuringRead:
+    def test_overlapped_read_retries_to_a_consistent_snapshot(
+            self, store):
+        title = _title(store)
+        mutated = []
+
+        def hook(stage, flight):
+            # land a mutation inside the first pinned window only
+            if stage == "pinned" and not mutated:
+                mutated.append(True)
+                store.update_text(title, "Injected Heading")
+
+        server_module._TEST_DELAY = hook
+        with QueryServer(workers=1) as server:
+            server.add_tenant("acme", store)
+            before_epoch = store.epoch
+            result = server.query(
+                "acme", EDIT_TARGET, timeout=30)
+            # the overlapped read was discarded and retried
+            assert result.conflicts == 1
+            assert server.metrics.get("serve.epoch_conflicts") == 1
+            # the response is consistent at the post-edit epoch —
+            # never a torn mix of the two states
+            assert result.epoch == store.epoch
+            assert result.epoch > before_epoch
+            assert result.value == store.query(EDIT_TARGET)
+            texts = {store.text(oid) for oid in result.value}
+            assert "Injected Heading" in texts
+
+    def test_stale_but_consistent_never_torn(self, store):
+        """A response may lag mutations that landed after its window
+        closed — its epoch says exactly which state it reflects."""
+        title = _title(store)
+        with QueryServer(workers=1) as server:
+            server.add_tenant("acme", store)
+            result = server.query("acme", EDIT_TARGET, timeout=30)
+            pinned = result.epoch
+            server.update_text("acme", title, "After The Read")
+            # the response is now stale — and precisely labelled so
+            assert pinned < store.epoch
+            assert result.epoch == pinned
+
+    def test_persistent_conflicts_fall_back_to_writer_exclusion(
+            self, store):
+        title = _title(store)
+        retries = 3
+        counter = [0]
+
+        def hook(stage, flight):
+            # poison every retry window the loop is willing to try
+            if stage == "pinned":
+                counter[0] += 1
+                store.update_text(
+                    title, f"Poisoned {counter[0]} Heading")
+
+        server_module._TEST_DELAY = hook
+        with QueryServer(workers=1, read_retries=retries) as server:
+            server.add_tenant("acme", store)
+            result = server.query("acme", EDIT_TARGET, timeout=30)
+            # every optimistic attempt conflicted...
+            assert counter[0] == retries
+            assert server.metrics.get("serve.epoch_conflicts") == retries
+            # ...and the fallback still produced an exact single-epoch
+            # answer: the final poisoned edit, fully visible
+            assert result.epoch == store.epoch
+            assert result.value == store.query(EDIT_TARGET)
+            texts = {store.text(oid) for oid in result.value}
+            assert f"Poisoned {retries} Heading" in texts

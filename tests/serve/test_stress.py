@@ -1,0 +1,156 @@
+"""The serving stress battery: correctness under concurrent traffic.
+
+Eight reader threads hammer the paper's query mix through the server
+while a writer thread applies a *deterministic* mutation script
+(in-database sentinel edits plus whole-document loads).  The oracle is
+single-threaded replay: the same script runs against an identically
+built second store, recording every query's answer after every step —
+``expected[epoch][query]``.  Because oid identity is structural and
+loading is deterministic, the two stores agree value-for-value, so
+every live response must equal the replay answer *at the epoch the
+response pinned*:
+
+* zero wrong results — stale is allowed (a response may reflect an
+  earlier epoch), torn is not (the value must exactly match some
+  single-epoch replay state);
+* zero deadlocks — every thread finishes inside the wall-clock budget;
+* the collapse ledger balances — ``collapsed + flights == submitted``.
+
+``SERVE_STRESS_EDITS`` / ``SERVE_STRESS_READERS`` shrink the run for
+the CI smoke job.
+"""
+
+import os
+import random
+import threading
+
+from repro import QueryServer
+from repro.corpus.generator import generate_corpus
+from tests.serve.conftest import QUERY_MIX, build_store
+
+EDITS = int(os.environ.get("SERVE_STRESS_EDITS", "12"))
+READERS = int(os.environ.get("SERVE_STRESS_READERS", "8"))
+SECTION_TITLES = "select s.title from a in Articles, s in a.sections"
+
+
+def _title_of(store):
+    return min(store.query(SECTION_TITLES), key=lambda o: o.number)
+
+
+def _script(edits):
+    """The deterministic mutation script: step kind per index."""
+    plan = []
+    loads = 0
+    for n in range(edits):
+        if n % 4 == 3:
+            plan.append(("load", loads))
+            loads += 1
+        else:
+            plan.append(("edit", n))
+    trees = generate_corpus(max(loads, 1), seed=7)
+    return plan, trees
+
+
+def _apply(step, trees, *, store=None, server=None, title=None):
+    kind, argument = step
+    if kind == "edit":
+        text = f"Sentinel{argument} Heading"
+        if server is not None:
+            server.update_text("acme", title, text)
+        else:
+            store.update_text(title, text)
+    else:
+        if server is not None:
+            server.load_tree("acme", trees[argument], validate=False)
+        else:
+            store.load_tree(trees[argument], validate=False)
+
+
+def test_stress_readers_vs_writer_replay_exact():
+    plan, live_trees = _script(EDITS)
+    _, replay_trees = _script(EDITS)
+
+    # the oracle: replay the script single-threaded, snapshotting every
+    # query's answer at every epoch the live server could ever pin
+    replay = build_store()
+    expected = {}
+
+    def snapshot():
+        expected[replay.epoch] = {
+            text: replay.query(text) for text in QUERY_MIX}
+
+    replay_title = _title_of(replay)
+    snapshot()
+    for step in plan:
+        _apply(step, replay_trees, store=replay, title=replay_title)
+        snapshot()
+
+    # the live run
+    store = build_store()
+    title = _title_of(store)
+    assert title == replay_title  # structural oid identity holds
+
+    errors = []
+    responses = []
+    responses_lock = threading.Lock()
+    done = threading.Event()
+
+    with QueryServer(workers=READERS, max_pending=READERS * 64) as server:
+        server.add_tenant("acme", store)
+
+        def writer():
+            try:
+                for step in plan:
+                    _apply(step, live_trees, server=server, title=title)
+            except Exception as exc:  # pragma: no cover - fails below
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader(index):
+            rng = random.Random(index)
+            try:
+                while not done.is_set():
+                    text = rng.choice(QUERY_MIX)
+                    result = server.query("acme", text, timeout=60)
+                    with responses_lock:
+                        responses.append(
+                            (text, result.epoch, result.value))
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(READERS)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        # zero deadlocks: every thread finished inside the budget
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        assert responses, "readers never completed a query"
+
+        # zero wrong results: every response equals the single-threaded
+        # replay at its pinned epoch — stale-but-consistent, never torn
+        for text, epoch, value in responses:
+            assert epoch in expected, (
+                f"response pinned epoch {epoch} the script never "
+                f"produced (known: {sorted(expected)})")
+            assert value == expected[epoch][text], (
+                f"torn read at epoch {epoch} for {text!r}")
+
+        # the final state converged on the replay's final state
+        for text in QUERY_MIX:
+            final = server.query("acme", text, timeout=60)
+            assert final.epoch == replay.epoch
+            assert final.value == expected[replay.epoch][text]
+
+        # the collapse ledger balances
+        metrics = server.metrics
+        assert (metrics.get("serve.collapsed")
+                + metrics.get("serve.flights")
+                == metrics.get("serve.submitted"))
+        assert metrics.get("serve.errors") == 0
+        assert metrics.get("serve.rejected") == 0
