@@ -119,5 +119,7 @@ def test_bench_p7_branch_pruning(benchmark, store):
     result = benchmark(store.query, query)
     assert len(result) == 0
     counters = store.metrics()["counters"]
-    assert counters["algebra.branches_pruned"] >= 14
-    assert counters["algebra.branches_pruned"] % 14 == 0
+    # 13 of 14 branches go away at compile time (cost stage, posting-
+    # size zero proof); the kept one is runtime-pruned on every run
+    assert counters["algebra.branches_pruned_static"] == 13
+    assert counters["algebra.branches_pruned"] >= 1

@@ -66,6 +66,17 @@ class Operator:
     is returned untouched.  Subclasses implement :meth:`_rows`.
     """
 
+    #: Estimated output cardinality / total cost, stamped by the
+    #: optimizer's cost stage (:mod:`repro.stats`); ``None`` on plans
+    #: that were never costed.  ``explain_analyze`` shows ``est_rows``
+    #: next to the actual row count.
+    est_rows: float | None = None
+    est_cost: float | None = None
+    #: :class:`repro.stats.CostEvidence` on unions the cost stage
+    #: reordered or pruned — the audit record the plancheck verifier's
+    #: ``PC-COST`` checks re-validate.  ``None`` everywhere else.
+    cost_evidence: Any = None
+
     def rows(self, ctx: EvalContext) -> Iterator[Binding]:
         profiler = ctx.profiler
         if profiler is None:

@@ -25,6 +25,24 @@ variable's union fan-out with the compiler's pre-attached
 :class:`StructuralScanOp` alternative — one pre/post interval range
 scan over :mod:`repro.structindex` — and fuses an equality select
 directly above a scan into an :class:`IntervalJoinOp` (experiment P9).
+
+A fifth, statistics-driven **cost stage** runs last when a
+:class:`~repro.stats.Statistics` snapshot is supplied (``stats=...``):
+
+* union branches are reordered by estimated cost, cheapest first, so
+  likely-empty branches probe before expensive ones stream;
+* an :class:`IndexFilterOp` whose probe provably cannot pay for itself
+  (a negation-dominated pattern that prunes nothing, or a regex probe
+  whose vocabulary scan costs more than re-checking the estimated
+  input) is demoted back to the plain :class:`SelectOp` scan;
+* branches gated by an oid-only filter whose pattern has a posting-size
+  upper bound of **zero** are pruned statically — before any index
+  probe is issued at execution time (``algebra.branches_pruned_static``).
+
+Every reordered/pruned union carries a
+:class:`~repro.stats.CostEvidence` record, and the stage runs under the
+same plancheck gate as every other rewrite: the verifier's ``PC-COST``
+checks re-validate the evidence (experiment P12).
 """
 
 from __future__ import annotations
@@ -57,10 +75,14 @@ from repro.algebra.operators import (
 
 
 #: Test-only corruption switch for the plancheck mutation test: set to
-#: ``"pushdown_unguarded"`` (the pushdown ignores its producer guard) or
+#: ``"pushdown_unguarded"`` (the pushdown ignores its producer guard),
 #: ``"interval_probe_misbound"`` (the interval join probes the variable
-#: the scan itself binds) to seed a broken rewrite the verifier must
-#: catch.  Production value is ``None``; never set it outside tests.
+#: the scan itself binds), ``"branch_order_scrambled"`` (the cost stage
+#: duplicates one branch and drops another, so its evidence is no
+#: longer a permutation) or ``"prune_nonempty_branch"`` (the cost stage
+#: prunes a branch without zero evidence) to seed a broken rewrite the
+#: verifier must catch.  Production value is ``None``; never set it
+#: outside tests.
 _TEST_MUTATION: str | None = None
 
 
@@ -68,7 +90,8 @@ def optimize(plan: Operator, use_text_index: bool = True,
              pushdown: bool = True, factor: bool = True,
              structural: bool = False, verify: str = "warn",
              query: object = None, metrics: object = None,
-             tracer: object = None) -> Operator:
+             tracer: object = None, stats: object = None,
+             plan_key: object = None) -> Operator:
     """Return a rewritten plan (the input is not mutated).
 
     ``structural=True`` swaps every path-variable union fan-out for the
@@ -99,6 +122,11 @@ def optimize(plan: Operator, use_text_index: bool = True,
         stages.append(("pushdown", _pushdown))
     if factor:
         stages.append(("factor", factor_shared_prefixes))
+    if stats is not None:
+        stages.append(("cost",
+                       lambda p: apply_cost_stage(p, stats,
+                                                  plan_key=plan_key,
+                                                  metrics=metrics)))
     if verify == "off":
         for name, stage in stages:
             plan = _run_stage(stage, plan, tracer, name)
@@ -109,11 +137,12 @@ def optimize(plan: Operator, use_text_index: bool = True,
     for name, stage in stages:
         plan = _run_stage(stage, plan, tracer, name)
         if verify == "raise":
-            check_plan(plan, query=query, stage=name, metrics=metrics)
+            check_plan(plan, query=query, stage=name, metrics=metrics,
+                       stats=stats)
             verified = plan
             continue
         faults = verify_plan(plan, query=query, stage=name,
-                             metrics=metrics)
+                             metrics=metrics, stats=stats)
         if faults:
             # keep serving the last plan that verified — a broken
             # rewrite must never reach execution
@@ -445,6 +474,167 @@ def _params_of(node: Operator) -> tuple:
         return ()
     # unknown/SharedOp nodes never merge with anything else
     return (id(node),)
+
+
+# -- the cost stage ---------------------------------------------------------
+
+
+def apply_cost_stage(plan: Operator, stats: Any,
+                     plan_key: object = None,
+                     metrics: object = None) -> Operator:
+    """The statistics-driven rewrite: selectivity-ordered unions,
+    provable-empty branch pruning, scan-vs-index access-path choice,
+    and ``est_rows``/``est_cost`` annotations on every node.
+
+    The transform is memoized by node *identity* so the DAG the factor
+    stage built survives intact: both consumers of a :class:`SharedOp`
+    resolve to the same rebuilt object.  Nodes whose subtree the stage
+    does not touch are returned as-is (the input plan is only ever
+    annotated, never restructured in place).
+    """
+    from repro.stats.cost import annotate_estimates
+
+    memo: dict[int, Operator] = {}
+    est_memo: dict = {}
+    ordinal = [0]
+
+    def transform(node: Operator) -> Operator:
+        done = memo.get(id(node))
+        if done is not None:
+            return done
+        children = [transform(child) for child in node.children()]
+        if children == node.children():
+            rebuilt = node
+        else:
+            rebuilt = _with_children(node, children)
+        if isinstance(rebuilt, IndexFilterOp):
+            rebuilt = _choose_access_path(rebuilt, stats, est_memo,
+                                          metrics)
+        elif isinstance(rebuilt, UnionOp):
+            rebuilt = _order_and_prune(rebuilt, stats, est_memo,
+                                       plan_key, ordinal, metrics)
+        memo[id(node)] = rebuilt
+        return rebuilt
+
+    rebuilt = transform(plan)
+    annotate_estimates(rebuilt, stats, est_memo)
+    return rebuilt
+
+
+def _choose_access_path(node: IndexFilterOp, stats: Any, est_memo: dict,
+                        metrics: object) -> Operator:
+    """Demote an index filter back to a plain scan-and-recheck when the
+    probe provably cannot pay for itself.
+
+    Demotion never changes which rows pass — the exact recheck is the
+    same atom either way — so the only question is cost.  Two cases are
+    safe wins: a pattern whose runtime probe is guaranteed to return
+    ``None`` (negation-dominated — the probe prunes nothing and the
+    filter already re-checks every row), and a non-``oid_only`` filter
+    whose probe (e.g. a regex word forcing a vocabulary scan) costs more
+    than simply re-checking the estimated input.  Pruning-capable
+    ``oid_only`` filters with a live probe are never demoted: their
+    empty candidate set is what lets :class:`UnionOp` skip branches.
+    """
+    from repro.stats.cost import estimate
+
+    demote = stats.prunes_nothing(node.pattern)
+    if not demote and not node.oid_only:
+        child_rows = estimate(node.child, stats, est_memo).rows
+        demote = stats.probe_cost(node.pattern) > child_rows
+    if not demote:
+        return node
+    if metrics is not None:
+        metrics.inc("algebra.cost_demotions")
+    return SelectOp(node.child, node.recheck_atom)
+
+
+def _zero_evidence(branch: Operator,
+                   stats: Any) -> tuple[str, Any] | None:
+    """Provable-emptiness evidence for one union branch, or ``None``.
+
+    A branch gated by an ``oid_only`` :class:`IndexFilterOp` whose
+    pattern has a posting-size upper bound of **zero** cannot yield a
+    row — the runtime probe would prune it anyway, but statically
+    removing it skips the probe and the branch setup entirely.  The
+    returned ``("empty_candidates", pattern)`` pair is what the
+    verifier's ``PC-COST`` check re-validates against the same
+    statistics snapshot.
+    """
+    stack = [branch]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, UnionOp):
+            continue
+        if (isinstance(node, IndexFilterOp) and node.oid_only
+                and stats.candidate_upper_bound(node.pattern) == 0):
+            return ("empty_candidates", node.pattern)
+        stack.extend(node.children())
+    return None
+
+
+def _order_and_prune(union: UnionOp, stats: Any, est_memo: dict,
+                     plan_key: object, ordinal: list,
+                     metrics: object) -> UnionOp:
+    """Reorder a union's branches cheapest-first and drop branches with
+    zero evidence, attaching the :class:`~repro.stats.CostEvidence`
+    audit record the verifier re-checks."""
+    from repro.stats.cost import estimate
+    from repro.stats.statistics import CostEvidence
+
+    branches = union.branches
+    original = len(branches)
+    this_ordinal = ordinal[0]
+    ordinal[0] += 1
+    pruned: dict[int, tuple[str, Any]] = {}
+    kept: list[int] = []
+    for index, branch in enumerate(branches):
+        evidence = _zero_evidence(branch, stats)
+        if evidence is not None:
+            pruned[index] = evidence
+        else:
+            kept.append(index)
+    if not kept:
+        # a union of zero plans is malformed; keep the first branch —
+        # its runtime probe prunes it at negligible cost
+        first = min(pruned)
+        del pruned[first]
+        kept.append(first)
+
+    def sort_key(index: int) -> tuple:
+        est = estimate(branches[index], stats, est_memo)
+        cost = est.cost
+        actual = (stats.branch_actual(plan_key, this_ordinal, index)
+                  if plan_key is not None else None)
+        if actual is not None:
+            # measured reality outranks the model: rescale the cost by
+            # the observed-vs-estimated cardinality ratio, so branches
+            # that came back empty probe first
+            cost *= (actual + 1.0) / (est.rows + 1.0)
+        return (cost, index)
+
+    order = tuple(sorted(kept, key=sort_key))
+    if _TEST_MUTATION == "branch_order_scrambled" and len(order) > 1:
+        # seeded bug: duplicate the first branch, drop the last — the
+        # evidence is no longer a permutation of the kept branches
+        order = (order[0],) + order[:-1]
+    if _TEST_MUTATION == "prune_nonempty_branch" and len(order) > 1:
+        # seeded bug: prune a branch without zero evidence
+        pruned[order[-1]] = ("mutation", None)
+        order = order[:-1]
+    if metrics is not None and pruned:
+        statically = sum(1 for kind, _ in pruned.values()
+                         if kind == "empty_candidates")
+        if statically:
+            metrics.inc("algebra.branches_pruned_static", statically)
+    if (not pruned and order == tuple(range(original))
+            and original < 2):
+        return union  # single-branch union: nothing to decide or audit
+    rebuilt = UnionOp([branches[index] for index in order])
+    rebuilt.cost_evidence = CostEvidence(original, order, pruned,
+                                         stats.generation,
+                                         ordinal=this_ordinal)
+    return rebuilt
 
 
 def _with_children(node: Operator, children: list[Operator]) -> Operator:

@@ -32,7 +32,8 @@ memo table on the forked evaluation context and drops it when the run
 ends, so a warm plan re-reads current data every time it runs.
 
 Counters (``cache.hits``, ``cache.misses``, ``cache.invalidations``,
-``cache.evictions``, ``cache.epoch_bumps``) are incremented on the
+``cache.stats_invalidations``, ``cache.evictions``,
+``cache.epoch_bumps``) are incremented on the
 registry the caller passes per operation — the same convention as every
 other instrumented layer: no registry, no cost beyond one test.
 """
@@ -95,17 +96,27 @@ class CachedArtifacts:
     (always ``False`` on the calculus backend — there is no plan to
     verify).  A cached serve never re-verifies: the flag travels with
     the entry.
+
+    ``stats_generation`` records the costing generation
+    (:attr:`repro.stats.StatisticsManager.generation`) the plan was
+    costed under — ``None`` when the cost stage did not run.  A lookup
+    that passes a newer generation drops the entry
+    (``cache.stats_invalidations``): the data did not change, but what
+    the cost model would decide did.
     """
 
-    __slots__ = ("query", "plan", "epoch", "key", "verified")
+    __slots__ = ("query", "plan", "epoch", "key", "verified",
+                 "stats_generation")
 
     def __init__(self, query, plan, epoch: int, key,
-                 verified: bool = False) -> None:
+                 verified: bool = False,
+                 stats_generation: int | None = None) -> None:
         self.query = query
         self.plan = plan
         self.epoch = epoch
         self.key = key
         self.verified = verified
+        self.stats_generation = stats_generation
 
     def __repr__(self) -> str:  # pragma: no cover
         kind = "algebra plan" if self.plan is not None else "calculus"
@@ -178,21 +189,35 @@ class PlanCache:
         return (normalize_query_text(text), backend, path_semantics,
                 bool(type_check), bool(structural))
 
-    def lookup(self, key: tuple, metrics=None) -> CachedArtifacts | None:
+    def lookup(self, key: tuple, metrics=None,
+               stats_generation: int | None = None
+               ) -> CachedArtifacts | None:
         """The entry for ``key``, or ``None`` on a miss.  An entry from
-        an earlier epoch counts as an invalidation *and* a miss."""
+        an earlier epoch counts as an invalidation *and* a miss; an
+        entry costed under an older statistics generation (when the
+        caller passes the current one) likewise, counted separately as
+        ``cache.stats_invalidations``."""
         stale = False
+        recost = False
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and entry.epoch != self._epoch:
                 del self._entries[key]
                 entry = None
                 stale = True
+            if (entry is not None and stats_generation is not None
+                    and entry.stats_generation is not None
+                    and entry.stats_generation != stats_generation):
+                del self._entries[key]
+                entry = None
+                recost = True
             if entry is not None:
                 self._entries.move_to_end(key)
         if metrics is not None:
             if stale:
                 metrics.inc("cache.invalidations")
+            if recost:
+                metrics.inc("cache.stats_invalidations")
             if entry is not None:
                 metrics.inc("cache.hits")
             else:

@@ -15,7 +15,12 @@ backend is exercised in all optimizer configurations:
 * ``cached``      — the factored plan executed a second time on a
   fresh context fork, i.e. exactly what a prepared/plan-cached query
   re-execution does (this is the configuration that would catch
-  cross-run state leaks such as a stale ``SharedOp`` memo).
+  cross-run state leaks such as a stale ``SharedOp`` memo);
+* ``costed``      — the full pipeline plus the statistics-driven cost
+  stage (:mod:`repro.stats`): union branches reordered by estimated
+  cost, provably-empty branches pruned statically, unprofitable index
+  filters demoted — all under ``verify="raise"``, so a miscosted
+  rewrite surfaces as a ``PlanVerificationError`` divergence.
 
 Two outcomes agree when they produce equal result sets, or fail the
 same way — wrong-branch navigation is *false, never an error* in both
@@ -39,7 +44,7 @@ from repro.oodb.values import SetValue
 
 #: The algebra-side configurations, in comparison order.
 ALGEBRA_CONFIGS = ("unoptimized", "optimized", "factored", "structural",
-                   "cached")
+                   "cached", "costed")
 
 #: The reference configuration name.
 REFERENCE = "calculus"
@@ -208,6 +213,13 @@ class DiffHarness:
             return execute_plan(optimize(plan, structural=True,
                                          verify="raise", query=query),
                                 engine.ctx.fork())
+        if name == "costed":
+            manager = getattr(engine, "stats", None)
+            snapshot = manager.snapshot() if manager is not None else None
+            return execute_plan(
+                optimize(plan, verify="raise", query=query,
+                         stats=snapshot),
+                engine.ctx.fork())
         factored = optimize(plan, verify="raise", query=query)
         if name == "factored":
             return execute_plan(factored, engine.ctx.fork())

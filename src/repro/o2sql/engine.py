@@ -63,7 +63,8 @@ class QueryEngine:
                  backend: str = "calculus",
                  optimize: bool = True,
                  cache: PlanCache | None = None,
-                 structural: bool = False) -> None:
+                 structural: bool = False,
+                 stats: object = None) -> None:
         self.instance = instance
         self.ctx = EvalContext(instance, provenance=provenance,
                                path_semantics=path_semantics)
@@ -76,6 +77,11 @@ class QueryEngine:
         #: off, but stays correct without one (scans fall back to live
         #: walks).  Part of the plan-cache key.
         self.structural = structural
+        #: Optional :class:`~repro.stats.StatisticsManager`.  When set
+        #: (and ``optimize`` is on), the optimizer runs its cost stage
+        #: against the current snapshot and executed plans feed actual
+        #: cardinalities back.
+        self.stats = stats
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -116,10 +122,17 @@ class QueryEngine:
         cache = self.cache
         key = None
         epoch = 0
+        snapshot = None
+        if (self.stats is not None and self.backend == "algebra"
+                and self.optimize):
+            snapshot = self.stats.snapshot()
         if cache is not None:
             key = self.cache_key(text)
             epoch = cache.epoch
-            entry = cache.lookup(key, metrics=metrics)
+            entry = cache.lookup(
+                key, metrics=metrics,
+                stats_generation=(None if snapshot is None
+                                  else snapshot.generation))
             if entry is not None:
                 return entry, True
         with tracer.span("parse"):
@@ -152,7 +165,8 @@ class QueryEngine:
                     from repro.algebra.optimizer import optimize
                     plan = optimize(plan, structural=self.structural,
                                     query=query, metrics=metrics,
-                                    tracer=tracer)
+                                    tracer=tracer, stats=snapshot,
+                                    plan_key=key)
                     verified = True
                 else:
                     from repro.plancheck.verifier import verify_plan
@@ -165,7 +179,9 @@ class QueryEngine:
                 span.annotate("shared", count_shared(plan))
                 span.annotate("verified", verified)
         entry = CachedArtifacts(query=query, plan=plan, epoch=epoch,
-                                key=key, verified=verified)
+                                key=key, verified=verified,
+                                stats_generation=(None if snapshot is None
+                                                  else snapshot.generation))
         if cache is not None:
             cache.store(key, entry, metrics=metrics)
         return entry, False
@@ -213,6 +229,7 @@ class QueryEngine:
                 from repro.algebra.execute import execute_plan
                 with tracer.span("execute"):
                     result = execute_plan(entry.plan, ctx)
+                self._feedback(entry, result, ctx)
                 root.annotate("rows", len(result))
                 return result, entry.plan
             with tracer.span("evaluate"):
@@ -228,11 +245,25 @@ class QueryEngine:
                 from repro.algebra.execute import execute_plan
                 with tracer.span("execute"):
                     result = execute_plan(entry.plan, ctx)
+                self._feedback(entry, result, ctx)
             else:
                 with tracer.span("evaluate"):
                     result = evaluate_query(entry.query, ctx)
             root.annotate("rows", len(result))
             return result
+
+    def _feedback(self, entry: CachedArtifacts, result, ctx) -> None:
+        """Feed an executed plan's actual cardinalities back into the
+        statistics (result rows always; per-operator timings and
+        per-branch counts when the run was profiled)."""
+        stats = self.stats
+        if stats is None or entry.plan is None:
+            return
+        stats.record_execution(entry.key, entry.plan.est_rows,
+                               len(result))
+        profiler = getattr(ctx, "profiler", None)
+        if profiler is not None:
+            stats.ingest_profile(entry.plan, profiler, key=entry.key)
 
     # -- observability --------------------------------------------------------
 

@@ -7,11 +7,14 @@ counts (algebra backend), the pipeline span tree, the result, and a
 structured metrics snapshot.  ``str(report)`` renders the familiar
 indented tree::
 
-    Project [t]  (rows=3, pulls=1, time=1.2ms)
-      Union (13 branches)  (rows=5, pulls=1, time=1.1ms)
-        MakePath P = .title  (rows=1, pulls=1, time=0.1ms)
+    Project [t]  (est=4.2, rows=3, pulls=1, time=1.2ms)
+      Union (13 branches)  (est=5.0, rows=5, pulls=1, time=1.1ms)
+        MakePath P = .title  (est=1.0, rows=1, pulls=1, time=0.1ms)
         ...
 
+``est`` is the cost stage's predicted cardinality (absent on uncosted
+plans); :meth:`ExplainReport.estimation_errors` ranks the nodes by
+q-error and :meth:`ExplainReport.estimation_summary` aggregates them.
 Row counts and plan shapes are deterministic; times are informational.
 """
 
@@ -44,6 +47,7 @@ def plan_tree(operator, profiler: PlanProfiler | None = None,
         "rows": stats.rows_out if stats is not None else None,
         "pulls": stats.pulls if stats is not None else None,
         "elapsed": stats.elapsed if stats is not None else None,
+        "est_rows": getattr(operator, "est_rows", None),
     }
     if id(operator) in _seen:
         node["label"] += "  (ref)"
@@ -61,7 +65,11 @@ def render_plan_tree(tree: dict, indent: int = 0) -> str:
     pad = "  " * indent
     annotation = ""
     if tree["rows"] is not None:
-        annotation = (f"  (rows={tree['rows']}, pulls={tree['pulls']}, "
+        estimated = ""
+        if tree.get("est_rows") is not None:
+            estimated = f"est={tree['est_rows']:.1f}, "
+        annotation = (f"  ({estimated}rows={tree['rows']}, "
+                      f"pulls={tree['pulls']}, "
                       f"time={tree['elapsed'] * 1000:.2f}ms)")
     lines = [pad + tree["label"] + annotation]
     for child in tree["children"]:
@@ -110,7 +118,8 @@ class ExplainReport:
 
         def visit(node: dict) -> None:
             found.append({key: node[key] for key in
-                          ("operator", "label", "rows", "pulls", "elapsed")})
+                          ("operator", "label", "rows", "pulls",
+                           "elapsed", "est_rows")})
             for child in node["children"]:
                 visit(child)
 
@@ -148,6 +157,49 @@ class ExplainReport:
     def counter(self, name: str, default: int = 0) -> int:
         return self.metrics.get("counters", {}).get(name, default)
 
+    def estimation_errors(self) -> list[dict]:
+        """Per-operator estimation quality, worst first: every executed
+        node that carries both a cost-stage estimate (``est_rows``) and
+        a measured actual row count, with its q-error (the symmetric
+        ratio; 1.0 = perfect).  Shared nodes are counted once (ref
+        stubs are skipped).  Empty on uncosted or unprofiled runs."""
+        from repro.stats import q_error
+        found: list[dict] = []
+
+        def visit(node: dict) -> None:
+            if node.get("ref"):
+                return
+            if (node["est_rows"] is not None
+                    and node["rows"] is not None):
+                found.append({
+                    "operator": node["operator"],
+                    "label": node["label"],
+                    "est_rows": node["est_rows"],
+                    "actual_rows": node["rows"],
+                    "q_error": q_error(node["est_rows"], node["rows"]),
+                })
+            for child in node["children"]:
+                visit(child)
+
+        tree = self.tree
+        if tree is not None and self.profiler is not None:
+            visit(tree)
+        found.sort(key=lambda entry: -entry["q_error"])
+        return found
+
+    def estimation_summary(self) -> dict | None:
+        """Aggregate estimation error of the run: node count, mean and
+        max q-error — ``None`` when the plan carries no estimates."""
+        errors = self.estimation_errors()
+        if not errors:
+            return None
+        qs = [entry["q_error"] for entry in errors]
+        return {
+            "operators": len(qs),
+            "mean_q_error": sum(qs) / len(qs),
+            "max_q_error": max(qs),
+        }
+
     # -- rendering -----------------------------------------------------------
 
     def render(self) -> str:
@@ -155,6 +207,12 @@ class ExplainReport:
                  f"{len(self.result)} row(s)"]
         if self.plan is not None:
             lines.append(render_plan_tree(self.tree))
+            summary = self.estimation_summary()
+            if summary is not None:
+                lines.append(
+                    f"estimation error: mean q={summary['mean_q_error']:.2f}, "
+                    f"max q={summary['max_q_error']:.2f} over "
+                    f"{summary['operators']} operator(s)")
         if self.trace is not None:
             lines.append("")
             lines.append(render_span(self.trace))

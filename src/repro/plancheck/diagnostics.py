@@ -35,7 +35,7 @@ class PlanFault:
         self.operator = operator
         #: The optimizer stage after which the fault was observed
         #: (``compile``, ``structuralize``, ``index``, ``pushdown``,
-        #: ``factor``) — ``None`` for direct verifier calls.
+        #: ``factor``, ``cost``) — ``None`` for direct verifier calls.
         self.stage = stage
         self.hint = hint
 

@@ -16,7 +16,11 @@ rejects any plan in which
   of a fixed name and an attribute variable, an interval join whose
   recheck atom is not the fused ``out ≡ probe`` equality),
 * the root projection does not bind its head, or does not match the
-  query head it was compiled from.
+  query head it was compiled from,
+* a union the cost stage reordered or pruned carries inconsistent
+  :class:`~repro.stats.CostEvidence` — the kept+pruned indices do not
+  partition the original branches, or a pruned branch lacks
+  re-checkable zero evidence (``PC-COST``).
 
 The pass is *sound for its contracts*, not a full type system: an
 operator may over-approximate ``produces()`` (see
@@ -132,13 +136,15 @@ def _meet(envs: list[Env]) -> Env:
 
 def verify_plan(plan: Operator, query: Query | None = None,
                 stage: str | None = None,
-                metrics: Any = None) -> list[PlanFault]:
+                metrics: Any = None,
+                stats: Any = None) -> list[PlanFault]:
     """Run every static check over ``plan``; returns the faults found.
 
     ``query`` (the calculus form) enables the head-match check;
     ``stage`` tags faults with the optimizer stage they appeared after;
     ``metrics`` receives ``plancheck.verifications`` /
-    ``plancheck.faults`` counters.
+    ``plancheck.faults`` counters; ``stats`` (the snapshot the cost
+    stage read) lets the ``PC-COST`` check re-derive zero evidence.
     """
     faults: list[PlanFault] = []
     _check_sharing(plan, stage, faults)
@@ -146,6 +152,7 @@ def verify_plan(plan: Operator, query: Query | None = None,
     active: set[int] = set()
     _env_of(plan, envs, active, stage, faults)
     _check_root(plan, query, envs, stage, faults)
+    _check_cost(plan, stats, stage, faults)
     if metrics is not None:
         metrics.inc("plancheck.verifications")
         if faults:
@@ -155,9 +162,11 @@ def verify_plan(plan: Operator, query: Query | None = None,
 
 def check_plan(plan: Operator, query: Query | None = None,
                stage: str | None = None,
-               metrics: Any = None) -> None:
+               metrics: Any = None,
+               stats: Any = None) -> None:
     """:func:`verify_plan`, raising on any fault."""
-    faults = verify_plan(plan, query=query, stage=stage, metrics=metrics)
+    faults = verify_plan(plan, query=query, stage=stage, metrics=metrics,
+                         stats=stats)
     if faults:
         where = f" after stage {stage!r}" if stage else ""
         summary = "; ".join(f"{f.code}: {f.message}" for f in faults[:3])
@@ -361,6 +370,67 @@ def _check_types(plan: Operator, var_types: dict, stage: str | None,
                     hint="oid_only lets unions prune whole branches; "
                          "a non-class candidate makes that unsound"))
         stack.extend(node.children())
+
+
+# -- cost-evidence checks ---------------------------------------------------
+
+
+def _check_cost(plan: Operator, stats: Any, stage: str | None,
+                faults: list[PlanFault]) -> None:
+    """Re-validate every :class:`~repro.stats.CostEvidence` record.
+
+    The cost stage may only *permute* a union's branches and *remove*
+    branches it can prove empty — so the evidence's kept order plus its
+    pruned indices must partition the original branch list, and every
+    pruned entry must carry zero evidence the verifier can re-derive.
+    When ``stats`` is the same snapshot generation the stage costed
+    against, the posting-size bound is recomputed and must still be 0.
+    """
+    seen: set[int] = set()
+    stack: list[Operator] = [plan]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node.children())
+        evidence = getattr(node, "cost_evidence", None)
+        if evidence is None:
+            continue
+
+        def fault(message: str, hint: str | None = None) -> None:
+            faults.append(PlanFault("PC-COST", message,
+                                    _describe(node), stage, hint=hint))
+
+        if not isinstance(node, UnionOp):
+            fault("cost evidence attached to a non-union operator")
+            continue
+        accounted = sorted(list(evidence.order)
+                           + list(evidence.pruned))
+        if accounted != list(range(evidence.original)):
+            fault(f"kept order {list(evidence.order)} + pruned "
+                  f"{sorted(evidence.pruned)} do not partition the "
+                  f"{evidence.original} original branches",
+                  hint="the cost stage may only permute branches and "
+                       "remove provably empty ones")
+            continue
+        if len(node.branches) != len(evidence.order):
+            fault(f"union has {len(node.branches)} branches but the "
+                  f"evidence keeps {len(evidence.order)}")
+            continue
+        for index, (kind, detail) in sorted(evidence.pruned.items()):
+            if kind != "empty_candidates":
+                fault(f"pruned branch {index} carries unverifiable "
+                      f"evidence kind {kind!r}",
+                      hint="only posting-size zero proofs justify "
+                           "static pruning")
+                continue
+            if (stats is not None
+                    and stats.generation == evidence.generation
+                    and stats.candidate_upper_bound(detail) != 0):
+                fault(f"pruned branch {index}'s pattern is no longer "
+                      "provably empty under the same statistics "
+                      "generation")
 
 
 # -- structural-index invariants --------------------------------------------

@@ -29,6 +29,7 @@ from repro.sgml.dtd_parser import parse_dtd
 from repro.sgml.instance import Element
 from repro.sgml.instance_parser import parse_document
 from repro.sgml.validator import validation_problems
+from repro.stats import StatisticsManager
 from repro.structindex import StructuralIndex
 from repro.text.index import TextIndex
 
@@ -99,6 +100,14 @@ class DocumentStore:
             path_semantics=path_semantics, backend=backend,
             optimize=optimize, cache=self.plan_cache,
             structural=structural)
+        #: Table statistics for the optimizer's cost stage: snapshots
+        #: follow the plan-cache epoch; executed plans feed actual
+        #: cardinalities back (adaptive re-costing is opt-in —
+        #: ``store.stats_manager.adaptive = True``).
+        self.stats_manager = StatisticsManager(
+            self.loader.instance, epoch_source=self.plan_cache,
+            context=self._engine.ctx)
+        self._engine.stats = self.stats_manager
         self.text_index: TextIndex | None = None
         self.struct_index: StructuralIndex | None = None
         self._metrics = None
@@ -236,6 +245,10 @@ class DocumentStore:
             index.metrics = self._metrics
             self.text_index = index
             self._engine.ctx.text_index = index
+            # costing must see the new index now — the store epoch did
+            # not move, so the memoized statistics snapshot would
+            # otherwise stay index-blind until the next data mutation
+            self.stats_manager.refresh()
             return index
 
     # -- structural indexing (the XPath-accelerator layer, P9) ----------------
@@ -258,6 +271,9 @@ class DocumentStore:
                 self._engine.ctx.struct_index = index
             index.note_data_change(epoch=self.plan_cache.epoch)
             index.refresh()
+            # same as build_text_index: fold the fresh block statistics
+            # into the costing snapshot immediately
+            self.stats_manager.refresh()
             return index
 
     # -- querying -------------------------------------------------------------
@@ -330,6 +346,7 @@ class DocumentStore:
         self.instance.metrics = self._metrics
         self.store.metrics = self._metrics
         self._engine.ctx.metrics = self._metrics
+        self.stats_manager.metrics = self._metrics
         if self.text_index is not None:
             self.text_index.metrics = self._metrics
         if self.struct_index is not None:
@@ -511,6 +528,10 @@ class DocumentStore:
             cache=store.plan_cache,
             structural=was_structural)
         store.struct_index = None
+        store.stats_manager = StatisticsManager(
+            restored.instance, epoch_source=store.plan_cache,
+            context=store._engine.ctx)
+        store._engine.stats = store.stats_manager
         if was_structural:
             store.build_structural_index()
         return store
@@ -529,7 +550,13 @@ class DocumentStore:
             "bytes": self.store.total_bytes(),
             "epoch": self.plan_cache.epoch,
             "plan_cache": self.plan_cache.stats(),
+            "statistics": self.stats_manager.report(),
         }
         if self.struct_index is not None:
             report["struct_index"] = self.struct_index.stats()
         return report
+
+    def statistics(self):
+        """The current optimizer-statistics snapshot (collected lazily,
+        refreshed on epoch or costing-generation change)."""
+        return self.stats_manager.snapshot()

@@ -1,0 +1,28 @@
+"""Table statistics + the cost model (the cost-based optimizer's data).
+
+The subsystem folds what the engine already measures — class/root
+cardinalities, text-index posting sizes, structural-index block and
+slice sizes, profiled per-operator timings — into an epoch-versioned
+:class:`Statistics` snapshot, and prices every algebra operator with
+:func:`estimate`.  The optimizer's verifier-gated ``cost`` stage
+(:func:`repro.algebra.optimizer.optimize` with ``stats=...``) reads the
+snapshot to order union branches by estimated selectivity, choose
+scan vs. text-index vs. structural range-scan per predicate, and prune
+branches that are provably empty before any index probe runs; executed
+plans feed actual cardinalities back through
+:class:`StatisticsManager`.
+"""
+
+from repro.stats.cost import Estimate, annotate_estimates, estimate
+from repro.stats.manager import StatisticsManager, q_error
+from repro.stats.statistics import CostEvidence, Statistics
+
+__all__ = [
+    "CostEvidence",
+    "Estimate",
+    "Statistics",
+    "StatisticsManager",
+    "annotate_estimates",
+    "estimate",
+    "q_error",
+]

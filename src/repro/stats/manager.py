@@ -1,0 +1,277 @@
+"""Statistics lifecycle: collection, epochs, generations, feedback.
+
+:class:`StatisticsManager` sits between the store and the optimizer's
+cost stage.  It owns one :class:`~repro.stats.statistics.Statistics`
+snapshot at a time and keeps it coherent along two axes:
+
+* **epoch** — the store's data/schema version (read off the same
+  ``epoch_source`` the plan cache and structural index use).  A
+  snapshot collected under an older epoch is recollected lazily on the
+  next :meth:`snapshot` call; collection is O(classes + roots), never
+  O(objects).
+* **generation** — the costing version.  Feedback from executed plans
+  (:meth:`record_execution`, :meth:`ingest_profile`) accumulates
+  silently; when *adaptive* re-costing is enabled and a measured
+  cardinality contradicts its estimate badly enough to change plan
+  choice, the generation advances — and the plan cache drops entries
+  costed under the stale generation on their next lookup
+  (``cache.stats_invalidations``).  Each cache key triggers at most one
+  correction per epoch, so feedback converges instead of thrashing.
+
+Adaptive bumping is **off by default**: estimates are still computed,
+annotated and recorded everywhere, but plan churn (recompiles on
+generation advance) only happens when the caller opts in
+(``manager.adaptive = True`` /
+``DocumentStore(...).stats_manager.adaptive = True``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from repro.oodb.values import ListValue, SetValue
+from repro.stats.statistics import Statistics
+
+#: A measured cardinality at least this many times off its estimate
+#: (either direction) counts as a misestimate worth re-costing for.
+MISESTIMATE_FACTOR = 4.0
+
+#: EMA weight of the newest unit-cost sample.
+_EMA_ALPHA = 0.3
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric ratio error ((max+1)/(min+1); 1.0 = perfect)."""
+    high = max(estimated, actual)
+    low = min(estimated, actual)
+    return (high + 1.0) / (low + 1.0)
+
+
+class StatisticsManager:
+    """Collects, versions and updates the table statistics."""
+
+    def __init__(self, instance: Any, epoch_source: Any,
+                 context: Any = None, metrics: Any = None) -> None:
+        self.instance = instance
+        #: Anything with an ``epoch`` attribute — the store's
+        #: :class:`~repro.cache.plancache.PlanCache` in practice.
+        self.epoch_source = epoch_source
+        #: The engine's evaluation context (read for the text and
+        #: structural indexes, which the store installs after
+        #: construction); ``None`` falls back to no index statistics.
+        self.context = context
+        self.metrics = metrics
+        #: Opt-in: advance the generation on bad misestimates so stale
+        #: costings recompile.  Off by default — see the module doc.
+        self.adaptive = False
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._snapshot: Statistics | None = None
+        self._unit_costs: dict[str, float] = {}
+        self._actual_rows: dict[Any, int] = {}
+        self._branch_actuals: dict[Any, int] = {}
+        #: Cache keys already corrected this epoch (cleared on epoch
+        #: change) — the at-most-once-per-key damper.
+        self._corrected: set = set()
+        self._corrected_epoch = -1
+
+    # -- versions -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The current costing version (monotonically increasing)."""
+        return self._generation
+
+    @property
+    def epoch(self) -> int:
+        return int(getattr(self.epoch_source, "epoch", 0))
+
+    # -- the snapshot ---------------------------------------------------------
+
+    def snapshot(self) -> Statistics:
+        """The current statistics; recollected when the store epoch or
+        the costing generation moved since the last collection."""
+        current = self._snapshot
+        if (current is not None and current.epoch == self.epoch
+                and current.generation == self._generation):
+            return current
+        with self._lock:
+            current = self._snapshot
+            if (current is not None and current.epoch == self.epoch
+                    and current.generation == self._generation):
+                return current
+            collected = self._collect()
+            self._snapshot = collected
+            if self.metrics is not None:
+                self.metrics.inc("stats.collections")
+            return collected
+
+    def refresh(self) -> Statistics:
+        """Force a recollection at the current epoch/generation."""
+        with self._lock:
+            self._snapshot = self._collect()
+        return self._snapshot
+
+    def _collect(self) -> Statistics:
+        instance = self.instance
+        schema = instance.schema
+        class_cards = {
+            name: len(instance.disjoint_extent(name))
+            for name in schema.class_names}
+        root_cards: dict[str, int] = {}
+        for name in instance.root_names:
+            try:
+                value = instance.root(name)
+            except Exception:  # pragma: no cover - racing writer
+                continue
+            root_cards[name] = (len(value)
+                                if isinstance(value,
+                                              (ListValue, SetValue))
+                                else 1)
+        text_index = getattr(self.context, "text_index", None)
+        struct_index = getattr(self.context, "struct_index", None)
+        document_count = 0
+        vocabulary_size = 0
+        if text_index is not None:
+            document_count = text_index.document_count
+            vocabulary_size = text_index.vocabulary_size
+        index_nodes = 0
+        index_roots = 0
+        attr_occurrences: dict[str, int] = {}
+        atom_slice_size = 0
+        if struct_index is not None:
+            for block in struct_index.blocks.values():
+                index_nodes += block.size
+                index_roots += 1
+                atom_slice_size += sum(
+                    len(positions)
+                    for positions in block.atoms.values())
+                for attr, positions in block.attr_steps.items():
+                    attr_occurrences[attr] = (
+                        attr_occurrences.get(attr, 0) + len(positions))
+        return Statistics(
+            epoch=self.epoch,
+            generation=self._generation,
+            class_cardinalities=class_cards,
+            root_cardinalities=root_cards,
+            object_count=instance.object_count(),
+            document_count=document_count,
+            vocabulary_size=vocabulary_size,
+            index_nodes=index_nodes,
+            index_roots=index_roots,
+            attr_occurrences=attr_occurrences,
+            atom_slice_size=atom_slice_size,
+            unit_costs=_normalized(self._unit_costs),
+            actual_rows=self._actual_rows,
+            branch_actuals=self._branch_actuals,
+            text_index=text_index,
+        )
+
+    # -- feedback (the adaptive loop) -----------------------------------------
+
+    def record_execution(self, key: Any, est_rows: float | None,
+                         actual_rows: int) -> bool:
+        """Feed one executed plan's actual result cardinality back.
+
+        Returns True when the misestimate advanced the generation
+        (adaptive mode only; at most once per cache key per epoch).
+        """
+        with self._lock:
+            self._actual_rows[key] = actual_rows
+            if (not self.adaptive or est_rows is None
+                    or q_error(est_rows, actual_rows)
+                    <= MISESTIMATE_FACTOR):
+                return False
+            epoch = self.epoch
+            if self._corrected_epoch != epoch:
+                self._corrected = set()
+                self._corrected_epoch = epoch
+            if key in self._corrected:
+                return False
+            self._corrected.add(key)
+            self._generation += 1
+        if self.metrics is not None:
+            self.metrics.inc("stats.recostings")
+        return True
+
+    def ingest_profile(self, plan: Any, profiler: Any,
+                       key: Any = None) -> None:
+        """Harvest a profiled run: EMA-update per-operator-class unit
+        costs, and record per-branch actual cardinalities for every
+        union the cost stage reordered (keyed by the plan's cache key
+        and the union's evidence ordinal)."""
+        per_class: dict[str, tuple[float, int]] = {}
+        with self._lock:
+            for node in _walk_once(plan):
+                stats = profiler.stats_for(node)
+                if stats.rows_out > 0 and stats.elapsed > 0.0:
+                    name = type(node).__name__
+                    elapsed, rows = per_class.get(name, (0.0, 0))
+                    per_class[name] = (elapsed + stats.elapsed,
+                                       rows + stats.rows_out)
+                evidence = getattr(node, "cost_evidence", None)
+                if evidence is not None and key is not None:
+                    for position, original in enumerate(evidence.order):
+                        branch = node.branches[position]
+                        self._branch_actuals[
+                            (key, evidence.ordinal, original)] = (
+                            profiler.rows_out(branch))
+            for name, (elapsed, rows) in per_class.items():
+                sample = elapsed / rows
+                previous = self._unit_costs.get(name)
+                if previous is None:
+                    self._unit_costs[name] = sample
+                else:
+                    self._unit_costs[name] = (
+                        (1.0 - _EMA_ALPHA) * previous
+                        + _EMA_ALPHA * sample)
+
+    def recost(self) -> int:
+        """Explicitly advance the costing generation (drops every
+        cached plan's costing on its next lookup); returns the new
+        generation."""
+        with self._lock:
+            self._generation += 1
+        if self.metrics is not None:
+            self.metrics.inc("stats.recostings")
+        return self._generation
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> dict:
+        """The ``statistics`` block of ``DocumentStore.stats()``."""
+        summary = self.snapshot().to_dict()
+        summary["adaptive"] = self.adaptive
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"StatisticsManager(epoch={self.epoch}, "
+                f"generation={self._generation}, "
+                f"adaptive={self.adaptive})")
+
+
+def _normalized(raw: dict[str, float]) -> dict[str, float]:
+    """Measured per-row seconds, rescaled so the cheapest class costs
+    1.0 — the model's unit for unmeasured classes — and clamped so one
+    noisy sample cannot dominate every other statistic."""
+    if not raw:
+        return {}
+    base = min(value for value in raw.values() if value > 0.0)
+    if base <= 0.0:  # pragma: no cover - all-zero samples
+        return {}
+    return {name: max(0.25, min(50.0, value / base))
+            for name, value in raw.items()}
+
+
+def _walk_once(plan: Any) -> Iterator[Any]:
+    """Every distinct operator in the plan DAG, once."""
+    seen: set[int] = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node.children())

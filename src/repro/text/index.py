@@ -134,6 +134,28 @@ class TextIndex:
     def vocabulary(self) -> Iterable[str]:
         return self._postings.keys()
 
+    # -- statistics (read by repro.stats, no probe issued) --------------------
+
+    def posting_size(self, word: str) -> int:
+        """Posting-list length of a literal token — an O(1) upper
+        bound on the number of documents containing ``word`` (a key
+        with several occurrences counts once per occurrence, so the
+        bound is safe, never exact).  ``0`` is a proof of absence: the
+        cost model prunes union branches gated on such patterns before
+        any probe runs."""
+        return len(self._postings.get(word, ()))
+
+    def posting_stats(self) -> dict:
+        """Aggregate posting statistics for the table-statistics
+        snapshot (:mod:`repro.stats`)."""
+        sizes = [len(postings) for postings in self._postings.values()]
+        return {
+            "documents": len(self._documents),
+            "vocabulary": len(sizes),
+            "postings": sum(sizes),
+            "max_posting": max(sizes, default=0),
+        }
+
     # -- probing --------------------------------------------------------------
 
     def keys_with_word(self, word: str) -> set[Hashable]:

@@ -101,6 +101,19 @@ class Pattern(PatternExpr):
     def patterns(self) -> list["Pattern"]:
         return [self]
 
+    def literal_words(self) -> list[str]:
+        """The pattern's plain-literal words (no metacharacters) —
+        the words whose posting-list sizes bound the pattern's
+        selectivity without issuing an index probe."""
+        from repro.text.index import _is_literal_word
+        return [word for word in self.source.split()
+                if _is_literal_word(word)]
+
+    def has_regex_word(self) -> bool:
+        """True when any word needs the NFA (a vocabulary scan at
+        probe time instead of a direct posting-list hit)."""
+        return len(self.literal_words()) < len(self.word_matchers)
+
     def __str__(self) -> str:
         return f'"{self.source}"'
 

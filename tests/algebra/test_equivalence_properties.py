@@ -241,6 +241,29 @@ class TestFactoredDagDifferential:
         reference = evaluate_query(query, engine.ctx.fork())
         assert factored_result == reference
 
+    @given(components=article_components(),
+           size=st.sampled_from([4, 9]),
+           seed=st.sampled_from([3, 11]),
+           mode=st.sampled_from(["plain", "negation", "forall"]))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_costed_equals_unfactored(self, components, size, seed,
+                                      mode):
+        """The cost stage (branch reordering, access-path choice,
+        provable-empty pruning) must be observationally invisible —
+        and every costed plan must pass the PC-COST verifier gate
+        (``verify="raise"``)."""
+        store = corpus_store(size, seed)
+        engine = store._engine
+        query = _article_query(components, mode)
+        plan = compile_query(query, engine.instance.schema,
+                             path_semantics="restricted")
+        unfactored = optimize(plan, factor=False)
+        costed = optimize(plan, verify="raise", query=query,
+                          stats=store.stats_manager.snapshot())
+        ctx = engine.ctx.fork()
+        assert execute_plan(costed, ctx) == execute_plan(unfactored, ctx)
+
     @pytest.mark.parametrize("query", [
         "select t from my_article PATH_p.title(t)",
         'select name(ATT_a) from my_article PATH_p.ATT_a(val) '

@@ -22,6 +22,12 @@ Q_PUSHDOWN = "select t from my_article PATH_p.title(t) where t = 'On Sets'"
 #: path; misbound, it probes the variable the scan itself binds.
 Q_JOIN = "select v from my_article PATH_p(v), my_old_article PATH_q(v)"
 
+#: Cost-stage victim: a path variable compiles to a multi-branch union,
+#: which the cost stage reorders (and would prune, were the ``contains``
+#: word absent from the corpus).
+Q_COST = ('select t from a in Articles, a PATH_p.title(t) '
+          'where a contains ("SGML")')
+
 
 @pytest.fixture(scope="module")
 def store():
@@ -57,6 +63,30 @@ class TestSeededBreakage:
         assert any(f.code in ("PC-JOIN", "PC-UNBOUND")
                    for f in exc.value.faults)
 
+    def test_scrambled_branch_order_is_caught(self, store, monkeypatch):
+        """A cost stage that duplicates one branch and drops another no
+        longer carries a permutation in its evidence — PC-COST."""
+        query, plan = _plan_for(store, Q_COST)
+        snapshot = store.stats_manager.snapshot()
+        monkeypatch.setattr(optimizer, "_TEST_MUTATION",
+                            "branch_order_scrambled")
+        with pytest.raises(PlanVerificationError) as exc:
+            optimizer.optimize(plan, verify="raise", query=query,
+                               stats=snapshot)
+        assert any(f.code == "PC-COST" for f in exc.value.faults)
+
+    def test_pruning_nonempty_branch_is_caught(self, store, monkeypatch):
+        """A cost stage that prunes a branch without re-checkable zero
+        evidence is rejected — PC-COST."""
+        query, plan = _plan_for(store, Q_COST)
+        snapshot = store.stats_manager.snapshot()
+        monkeypatch.setattr(optimizer, "_TEST_MUTATION",
+                            "prune_nonempty_branch")
+        with pytest.raises(PlanVerificationError) as exc:
+            optimizer.optimize(plan, verify="raise", query=query,
+                               stats=snapshot)
+        assert any(f.code == "PC-COST" for f in exc.value.faults)
+
     def test_warn_policy_keeps_last_verified_plan(self, store,
                                                   monkeypatch):
         """Production policy: the faulty stage is dropped (with one
@@ -90,6 +120,13 @@ class TestIntactOptimizer:
         assert optimizer._TEST_MUTATION is None
         query, plan = _plan_for(store, text)
         optimizer.optimize(plan, verify="raise", query=query, **options)
+
+    @pytest.mark.parametrize("text", [Q_PUSHDOWN, Q_JOIN, Q_COST])
+    def test_cost_stage_passes_raise_gate(self, store, text):
+        assert optimizer._TEST_MUTATION is None
+        query, plan = _plan_for(store, text)
+        optimizer.optimize(plan, verify="raise", query=query,
+                           stats=store.stats_manager.snapshot())
 
     def test_mutation_flag_defaults_off(self):
         assert optimizer._TEST_MUTATION is None

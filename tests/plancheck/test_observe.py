@@ -23,8 +23,9 @@ class TestCounters:
         store.enable_metrics()
         store.query(QUERY)
         counters = store.metrics()["counters"]
-        # one verification per optimizer stage (index, pushdown, factor)
-        assert counters["plancheck.verifications"] == 3
+        # one verification per optimizer stage (index, pushdown,
+        # factor, cost)
+        assert counters["plancheck.verifications"] == 4
         assert "plancheck.faults" not in counters
 
     def test_explain_analyze_snapshot_carries_counters(self, store):
@@ -41,7 +42,7 @@ class TestCompileBreakdown:
         assert compile_span is not None
         names = compile_span.path_names()
         assert names == ["optimize.index", "optimize.pushdown",
-                         "optimize.factor"]
+                         "optimize.factor", "optimize.cost"]
         for span in compile_span.children:
             assert span.elapsed >= 0.0
         assert compile_span.attributes["verified"] is True

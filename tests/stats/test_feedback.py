@@ -1,0 +1,167 @@
+"""The feedback loop around the cost model: stats-generation plan-cache
+invalidation, adaptive re-costing with its per-key damper, profiled
+unit-cost/branch-cardinality ingestion, and the estimation-error
+surface of EXPLAIN ANALYZE."""
+
+import pytest
+
+from repro import DocumentStore, PlanCache
+from repro.cache.plancache import CachedArtifacts
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.corpus.generator import generate_corpus
+from repro.observe import MetricsRegistry
+
+QUERY = ('select t from a in Articles, a PATH_p.title(t) '
+         'where a contains ("SGML")')
+
+
+def build_store():
+    store = DocumentStore(ARTICLE_DTD, backend="algebra")
+    for tree in generate_corpus(8, seed=7):
+        store.load_tree(tree, validate=False)
+    store.load_text(SAMPLE_ARTICLE, name="my_article")
+    store.build_text_index()
+    return store
+
+
+def _entry(key, generation):
+    return CachedArtifacts(query=None, plan=None, epoch=0, key=key,
+                           stats_generation=generation)
+
+
+class TestCacheStatsInvalidation:
+    def test_lookup_drops_stale_generation(self):
+        cache = PlanCache()
+        metrics = MetricsRegistry()
+        key = ("q",)
+        cache.store(key, _entry(key, generation=0))
+        assert cache.lookup(key, stats_generation=0) is not None
+        assert cache.lookup(key, metrics=metrics,
+                            stats_generation=1) is None
+        counters = metrics.snapshot()["counters"]
+        assert counters["cache.stats_invalidations"] == 1
+        assert counters["cache.misses"] == 1
+        # the stale-costing drop is not a data-epoch invalidation
+        assert "cache.invalidations" not in counters
+
+    def test_uncosted_entry_survives_generation_moves(self):
+        cache = PlanCache()
+        key = ("q",)
+        cache.store(key, _entry(key, generation=None))
+        assert cache.lookup(key, stats_generation=7) is not None
+
+    def test_lookup_without_generation_is_a_hit(self):
+        cache = PlanCache()
+        key = ("q",)
+        cache.store(key, _entry(key, generation=3))
+        assert cache.lookup(key, stats_generation=None) is not None
+
+    def test_recost_forces_recompile_end_to_end(self):
+        store = build_store()
+        store.enable_metrics()
+        first = store.query(QUERY)
+        again = store.query(QUERY)          # warm: plan-cache hit
+        store.stats_manager.recost()
+        third = store.query(QUERY)          # costing moved: recompile
+        counters = store.metrics()["counters"]
+        assert counters["cache.stats_invalidations"] == 1
+        assert counters["stats.recostings"] == 1
+        assert counters["cache.misses"] == 2
+        assert first == again == third
+
+
+class TestAdaptiveRecosting:
+    def test_default_is_not_adaptive(self):
+        store = build_store()
+        manager = store.stats_manager
+        assert manager.adaptive is False
+        before = manager.generation
+        assert manager.record_execution("k", 1000.0, 1) is False
+        assert manager.generation == before
+
+    def test_misestimate_advances_generation_once_per_key(self):
+        store = build_store()
+        manager = store.stats_manager
+        manager.adaptive = True
+        before = manager.generation
+        assert manager.record_execution("k1", 1000.0, 1) is True
+        assert manager.generation == before + 1
+        # the damper: one correction per key per epoch
+        assert manager.record_execution("k1", 1000.0, 1) is False
+        assert manager.generation == before + 1
+        # a different key may still correct
+        assert manager.record_execution("k2", 1.0, 500) is True
+        assert manager.generation == before + 2
+
+    def test_good_estimates_never_bump(self):
+        store = build_store()
+        manager = store.stats_manager
+        manager.adaptive = True
+        before = manager.generation
+        assert manager.record_execution("k", 10.0, 12) is False
+        assert manager.generation == before
+
+    def test_snapshot_follows_the_generation(self):
+        store = build_store()
+        manager = store.stats_manager
+        old = manager.snapshot()
+        manager.recost()
+        new = manager.snapshot()
+        assert new is not old
+        assert new.generation == old.generation + 1
+
+
+class TestProfiledFeedback:
+    def test_profiled_run_harvests_unit_costs_and_branches(self):
+        store = build_store()
+        manager = store.stats_manager
+        store.explain_analyze(QUERY)
+        snap = manager.refresh()
+        # per-operator-class unit costs were learned (normalized so
+        # the cheapest measured class costs 1.0, clamped)
+        assert snap.unit_costs
+        assert all(0.25 <= value <= 50.0
+                   for value in snap.unit_costs.values())
+        # the reordered union's per-branch actuals were recorded under
+        # (cache key, evidence ordinal, original branch index)
+        assert snap.branch_actuals
+        assert snap.to_dict()["recorded_branches"] > 0
+
+    def test_result_cardinality_is_recorded(self):
+        store = build_store()
+        result = store.query(QUERY)
+        snap = store.stats_manager.refresh()
+        assert len(result) in snap.actual_rows.values()
+
+
+class TestExplainEstimation:
+    def test_report_surfaces_est_vs_actual(self):
+        store = build_store()
+        report = store.explain_analyze(QUERY)
+        errors = report.estimation_errors()
+        assert errors
+        worst = errors[0]
+        assert {"operator", "label", "est_rows", "actual_rows",
+                "q_error"} <= set(worst)
+        assert all(entry["q_error"] >= 1.0 for entry in errors)
+        # worst-first ordering
+        qs = [entry["q_error"] for entry in errors]
+        assert qs == sorted(qs, reverse=True)
+
+    def test_summary_and_render(self):
+        store = build_store()
+        report = store.explain_analyze(QUERY)
+        summary = report.estimation_summary()
+        assert summary is not None
+        assert summary["operators"] == len(report.estimation_errors())
+        assert summary["max_q_error"] >= summary["mean_q_error"] >= 1.0
+        rendered = report.render()
+        assert "est=" in rendered
+        assert "estimation error: mean q=" in rendered
+
+    def test_uncosted_run_has_no_estimates(self):
+        store = DocumentStore(ARTICLE_DTD, backend="calculus")
+        store.load_text(SAMPLE_ARTICLE, name="my_article")
+        report = store.explain_analyze(
+            "select t from my_article PATH_p.title(t)")
+        assert report.estimation_summary() is None
