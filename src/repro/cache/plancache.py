@@ -103,20 +103,28 @@ class CachedArtifacts:
     that passes a newer generation drops the entry
     (``cache.stats_invalidations``): the data did not change, but what
     the cost model would decide did.
+
+    ``sql_program`` is the compiled hybrid
+    (:class:`repro.sqlbackend.backend.HybridPlan`) on the ``sql``
+    backend — ``None`` everywhere else, and ``None`` on the ``sql``
+    backend too when the plan could not be hybridized (the entry then
+    serves through ordinary plan execution).
     """
 
     __slots__ = ("query", "plan", "epoch", "key", "verified",
-                 "stats_generation")
+                 "stats_generation", "sql_program")
 
     def __init__(self, query, plan, epoch: int, key,
                  verified: bool = False,
-                 stats_generation: int | None = None) -> None:
+                 stats_generation: int | None = None,
+                 sql_program=None) -> None:
         self.query = query
         self.plan = plan
         self.epoch = epoch
         self.key = key
         self.verified = verified
         self.stats_generation = stats_generation
+        self.sql_program = sql_program
 
     def __repr__(self) -> str:  # pragma: no cover
         kind = "algebra plan" if self.plan is not None else "calculus"

@@ -12,8 +12,9 @@ contract executable:
   randomized corpora specs over :mod:`repro.corpus.generator`;
 * :mod:`repro.diffcheck.harness` — runs each query through the
   calculus interpreter and the algebra backend in every optimizer
-  configuration (unoptimized, optimized, factored DAG, prepared/
-  cached) and flags any disagreement;
+  configuration (unoptimized, optimized, factored DAG, structural,
+  prepared/cached, costed, and the relational ``sql`` hybrid) and
+  flags any disagreement;
 * :mod:`repro.diffcheck.minimize` — a delta-debugging minimizer that
   shrinks a failing (corpus, query) pair to a minimal repro;
 * :mod:`repro.diffcheck.fixtures` — replayable JSON serialization of

@@ -20,7 +20,15 @@ backend is exercised in all optimizer configurations:
   stage (:mod:`repro.stats`): union branches reordered by estimated
   cost, provably-empty branches pruned statically, unprofitable index
   filters demoted — all under ``verify="raise"``, so a miscosted
-  rewrite surfaces as a ``PlanVerificationError`` divergence.
+  rewrite surfaces as a ``PlanVerificationError`` divergence;
+* ``sql``         — the ``structural`` plan hybridized by the
+  relational backend (:mod:`repro.sqlbackend`): the maximal
+  relational prefix runs as emitted SQL over the store's SQLite
+  shredding, the remainder as plan operators over the hydrated rows.
+  A *compile-time* refusal or a *runtime guard*
+  (:class:`~repro.errors.SQLUnsupportedError`) falls back to plan
+  execution — exactly the engine's serving behavior — so refusals
+  are exercised but never read as divergences by themselves.
 
 Two outcomes agree when they produce equal result sets, or fail the
 same way — wrong-branch navigation is *false, never an error* in both
@@ -30,6 +38,10 @@ by the calculus at evaluation time (:class:`SafetyError`) and by the
 compiler at compile time (:class:`CompilationError`); both label the
 outcome ``rejected``, so the stage difference never reads as a
 divergence (the minimizer routinely produces such intermediates).
+:class:`~repro.errors.SQLBackendError` and raw driver errors
+(``sqlite3.Error``) coarsen to ``rejected`` too: the *category* of a
+relational refusal is stage-independent, and the minimizer must not
+chase the exact driver message while shrinking a case.
 """
 
 from __future__ import annotations
@@ -44,15 +56,24 @@ from repro.oodb.values import SetValue
 
 #: The algebra-side configurations, in comparison order.
 ALGEBRA_CONFIGS = ("unoptimized", "optimized", "factored", "structural",
-                   "cached", "costed")
+                   "cached", "costed", "sql")
 
 #: The reference configuration name.
 REFERENCE = "calculus"
 
 
 def _error_label(exc: Exception) -> str:
-    """Coarse error category; static rejection is stage-independent."""
+    """Coarse error category; static rejection is stage-independent.
+
+    Relational-backend refusals and raw SQLite driver errors coarsen
+    the same way: what matters differentially is *that* the backend
+    refused, not the driver's message text."""
+    import sqlite3
+
+    from repro.errors import SQLBackendError
     if isinstance(exc, (SafetyError, CompilationError)):
+        return "rejected"
+    if isinstance(exc, (SQLBackendError, sqlite3.Error)):
         return "rejected"
     return type(exc).__name__
 
@@ -142,6 +163,12 @@ class DiffHarness:
                 store.load_tree(tree, validate=False)
             store.build_text_index()
             store.build_structural_index()
+            # the ``sql`` configuration's relational backend, sharing
+            # the store's epoch so the shred stays fresh
+            from repro.sqlbackend.backend import SQLBackend
+            store._engine.sql_backend = SQLBackend(
+                store.instance, epoch_source=store.plan_cache,
+                metrics=self.metrics)
             self._stores[spec] = store
             if self.metrics is not None:
                 self.metrics.inc("diffcheck.corpora_built")
@@ -220,6 +247,17 @@ class DiffHarness:
                 optimize(plan, verify="raise", query=query,
                          stats=snapshot),
                 engine.ctx.fork())
+        if name == "sql":
+            from repro.errors import SQLUnsupportedError
+            structural = optimize(plan, structural=True,
+                                  verify="raise", query=query)
+            backend = engine.sql_backend
+            try:
+                hybrid = backend.compile(structural)
+                return backend.execute(hybrid, engine.ctx.fork())
+            except SQLUnsupportedError:
+                # the engine's serving fallback: run the plan instead
+                return execute_plan(structural, engine.ctx.fork())
         factored = optimize(plan, verify="raise", query=query)
         if name == "factored":
             return execute_plan(factored, engine.ctx.fork())

@@ -165,6 +165,26 @@ class CompilationError(QueryError):
     """Calculus -> algebra compilation failed (Section 5.4)."""
 
 
+class SQLBackendError(QueryError):
+    """Base class for relational-backend problems (:mod:`repro.sqlbackend`)."""
+
+
+class SQLUnsupportedError(SQLBackendError, CompilationError):
+    """The plan (or the shredded store) falls outside the relational
+    subset the SQL emitter covers.
+
+    Deliberately *also* a :class:`CompilationError`: diffcheck coarsens
+    static rejection to the shared ``rejected`` bucket, so an
+    unsupported construct is an expected abstention, never a spurious
+    divergence.  The engine reacts by falling back to ordinary plan
+    execution (``sql.fallbacks``).
+    """
+
+
+class SQLExecutionError(SQLBackendError):
+    """The emitted statement failed inside the database engine."""
+
+
 # ---------------------------------------------------------------------------
 # Serving subsystem (repro.serve)
 # ---------------------------------------------------------------------------

@@ -2,8 +2,12 @@
 
 ``QueryEngine`` wires the pipeline together: parse → translate to the
 calculus → static safety check → (optional) type inference against the
-schema → evaluation, either with the calculus interpreter or with a
-compiled (and, by default, optimized) algebra plan (Section 5.4).
+schema → evaluation, either with the calculus interpreter, with a
+compiled (and, by default, optimized) algebra plan (Section 5.4), or —
+``backend="sql"`` — with that same plan's maximal relational prefix
+emitted as SQL over the instance's shredding
+(:mod:`repro.sqlbackend`), the remainder running as plan operators
+over the hydrated rows.
 
 The front half of that pipeline is a pure function of the query text
 and the schema, so it can be memoized: when a
@@ -72,6 +76,14 @@ class QueryEngine:
         self.backend = backend
         self.optimize = optimize
         self.cache = cache
+        #: The relational backend (``backend="sql"`` only): plans are
+        #: still compiled and optimized as usual, then the maximal
+        #: relational prefix is emitted as SQL over the instance's
+        #: shred; anything the emitter refuses runs as the plan.
+        self.sql_backend = None
+        if backend == "sql":
+            from repro.sqlbackend.backend import SQLBackend
+            self.sql_backend = SQLBackend(instance, epoch_source=cache)
         #: Compile path variables to structural-index range scans
         #: (experiment P9); requires a StructuralIndex on ``ctx`` to pay
         #: off, but stays correct without one (scans fall back to live
@@ -146,7 +158,7 @@ class QueryEngine:
                 infer_types(query, self.instance.schema)
         plan = None
         verified = False
-        if self.backend == "algebra":
+        if self.backend in ("algebra", "sql"):
             from repro.algebra.compile import compile_query
             from repro.algebra.execute import (
                 count_shared,
@@ -178,10 +190,25 @@ class QueryEngine:
                 span.annotate("unions", count_unions(plan))
                 span.annotate("shared", count_shared(plan))
                 span.annotate("verified", verified)
+        sql_program = None
+        if self.backend == "sql" and plan is not None:
+            from repro.errors import SQLUnsupportedError
+            with tracer.span("emit.sql") as span:
+                try:
+                    sql_program = self.sql_backend.compile(
+                        plan, metrics=metrics)
+                    span.annotate("statements",
+                                  len(sql_program.programs))
+                except SQLUnsupportedError:
+                    # not hybridizable: the entry serves as a plan
+                    span.annotate("statements", 0)
+                    if metrics is not None:
+                        metrics.inc("sql.unsupported")
         entry = CachedArtifacts(query=query, plan=plan, epoch=epoch,
                                 key=key, verified=verified,
                                 stats_generation=(None if snapshot is None
-                                                  else snapshot.generation))
+                                                  else snapshot.generation),
+                                sql_program=sql_program)
         if cache is not None:
             cache.store(key, entry, metrics=metrics)
         return entry, False
@@ -190,7 +217,7 @@ class QueryEngine:
 
     def run(self, text: str) -> SetValue:
         """The full pipeline; the result is always a set."""
-        result, _ = self._run(text, self.ctx.tracer or NULL_TRACER)
+        result, _, _ = self._run(text, self.ctx.tracer or NULL_TRACER)
         return result
 
     def prepare(self, text: str) -> PreparedQuery:
@@ -198,6 +225,9 @@ class QueryEngine:
         on engines that have none yet."""
         if self.cache is None:
             self.cache = PlanCache()
+            if self.sql_backend is not None:
+                # freshness rides the cache epoch from here on
+                self.sql_backend.shred.epoch_source = self.cache
         return PreparedQuery(self, text)
 
     def run_many(self, texts) -> list[SetValue]:
@@ -219,38 +249,59 @@ class QueryEngine:
         return results
 
     def _run(self, text: str, tracer):
-        """Run all stages under spans; returns ``(result, plan-or-None)``."""
+        """Run all stages under spans; returns
+        ``(result, executed-plan-or-None, emitted-sql-or-None)``."""
         with tracer.span("query", backend=self.backend) as root:
             ctx = self.ctx.fork()
             entry, hit = self._artifacts(text, tracer, ctx.metrics)
             if self.cache is not None:
                 root.annotate("plan_cache", "hit" if hit else "miss")
             if entry.plan is not None:
-                from repro.algebra.execute import execute_plan
-                with tracer.span("execute"):
-                    result = execute_plan(entry.plan, ctx)
+                result, plan, sql = self._execute_plan_entry(
+                    entry, ctx, tracer)
                 self._feedback(entry, result, ctx)
                 root.annotate("rows", len(result))
-                return result, entry.plan
+                return result, plan, sql
             with tracer.span("evaluate"):
                 result = evaluate_query(entry.query, ctx)
             root.annotate("rows", len(result))
-            return result, None
+            return result, None, None
 
     def _execute(self, entry: CachedArtifacts, tracer) -> SetValue:
         """Execute already-resolved artifacts under a fresh context."""
         with tracer.span("query", backend=self.backend) as root:
             ctx = self.ctx.fork()
             if entry.plan is not None:
-                from repro.algebra.execute import execute_plan
-                with tracer.span("execute"):
-                    result = execute_plan(entry.plan, ctx)
+                result, _, _ = self._execute_plan_entry(
+                    entry, ctx, tracer)
                 self._feedback(entry, result, ctx)
             else:
                 with tracer.span("evaluate"):
                     result = evaluate_query(entry.query, ctx)
             root.annotate("rows", len(result))
             return result
+
+    def _execute_plan_entry(self, entry: CachedArtifacts, ctx, tracer):
+        """Execute a plan-bearing entry and report what actually ran:
+        the hybrid (SQL-fed) plan when one was compiled, the ordinary
+        plan otherwise — including when a compiled hybrid *refuses at
+        run time* (non-navigable root, path-semantics or enumeration
+        guard), which falls back transparently and counts
+        ``sql.fallbacks``."""
+        from repro.algebra.execute import execute_plan
+        hybrid = entry.sql_program
+        if hybrid is not None:
+            from repro.errors import SQLUnsupportedError
+            try:
+                with tracer.span("execute.sql"):
+                    result = self.sql_backend.execute(hybrid, ctx)
+                return result, hybrid.plan, hybrid.sql
+            except SQLUnsupportedError:
+                if ctx.metrics is not None:
+                    ctx.metrics.inc("sql.fallbacks")
+        with tracer.span("execute"):
+            result = execute_plan(entry.plan, ctx)
+        return result, entry.plan, None
 
     def _feedback(self, entry: CachedArtifacts, result, ctx) -> None:
         """Feed an executed plan's actual cardinalities back into the
@@ -289,14 +340,15 @@ class QueryEngine:
         )
         metrics = MetricsRegistry()
         tracer = Tracer()
-        profiler = PlanProfiler() if self.backend == "algebra" else None
+        profiler = (PlanProfiler()
+                    if self.backend in ("algebra", "sql") else None)
         with observed(self.ctx, metrics=metrics, tracer=tracer,
                       profiler=profiler):
-            result, plan = self._run(text, tracer)
+            result, plan, sql = self._run(text, tracer)
         return ExplainReport(text=text, backend=self.backend,
                              result=result, plan=plan, profiler=profiler,
                              metrics=metrics.snapshot(),
-                             trace=tracer.last_root)
+                             trace=tracer.last_root, sql=sql)
 
     explain_analyze = profile
 

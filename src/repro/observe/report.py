@@ -93,7 +93,7 @@ class ExplainReport:
 
     def __init__(self, text: str, backend: str, result, plan,
                  profiler: PlanProfiler | None, metrics: dict,
-                 trace: Span | None) -> None:
+                 trace: Span | None, sql: str | None = None) -> None:
         self.text = text
         self.backend = backend
         self.result = result
@@ -102,6 +102,9 @@ class ExplainReport:
         #: structured snapshot — ``{"counters": {...}, "histograms": {...}}``
         self.metrics = metrics
         self.trace = trace
+        #: the emitted SQL statement(s) when the run was served by the
+        #: relational backend's hybrid; ``None`` on every other path
+        self.sql = sql
 
     # -- structured access ---------------------------------------------------
 
@@ -189,14 +192,21 @@ class ExplainReport:
 
     def estimation_summary(self) -> dict | None:
         """Aggregate estimation error of the run: node count, mean and
-        max q-error — ``None`` when the plan carries no estimates."""
+        max q-error — ``None`` when the plan carries no estimates.
+
+        Degenerate estimates (an operator whose cost annotation went
+        non-finite) are excluded from the mean so one bad node cannot
+        wash out the aggregate; ``max_q_error`` still reports them."""
+        import math
         errors = self.estimation_errors()
         if not errors:
             return None
         qs = [entry["q_error"] for entry in errors]
+        finite = [q for q in qs if math.isfinite(q)]
         return {
             "operators": len(qs),
-            "mean_q_error": sum(qs) / len(qs),
+            "mean_q_error": (sum(finite) / len(finite)
+                             if finite else math.inf),
             "max_q_error": max(qs),
         }
 
@@ -213,6 +223,10 @@ class ExplainReport:
                     f"estimation error: mean q={summary['mean_q_error']:.2f}, "
                     f"max q={summary['max_q_error']:.2f} over "
                     f"{summary['operators']} operator(s)")
+        if self.sql:
+            lines.append("")
+            lines.append("emitted SQL:")
+            lines.extend("  " + line for line in self.sql.splitlines())
         if self.trace is not None:
             lines.append("")
             lines.append(render_span(self.trace))

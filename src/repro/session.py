@@ -351,6 +351,9 @@ class DocumentStore:
             self.text_index.metrics = self._metrics
         if self.struct_index is not None:
             self.struct_index.metrics = self._metrics
+        if self._engine.sql_backend is not None:
+            self._engine.sql_backend.metrics = self._metrics
+            self._engine.sql_backend.shred.metrics = self._metrics
 
     def metrics(self) -> dict:
         """Structured snapshot of the store-wide metrics registry
@@ -494,18 +497,24 @@ class DocumentStore:
         return schema_to_dtd(self.mapped)
 
     @classmethod
-    def load(cls, path) -> "DocumentStore":
+    def load(cls, path, **config) -> "DocumentStore":
         """Rebuild a store from :meth:`save` output.
 
         Loader provenance is not persisted: ``text()`` uses the (always
         correct) structural reconstruction after a reload, and documents
         can be re-exported via the inverse mapping.
+
+        The snapshot stores *data*, not engine configuration;
+        ``config`` forwards constructor keywords (``backend=``,
+        ``structural=``, ``path_semantics=``, ...) so a store restored
+        for a differently-configured engine — e.g. the relational
+        ``backend="sql"`` — is rebuilt with that configuration.
         """
         import os
         from repro.oodb.store import ObjectStore
         with open(f"{os.fspath(path)}.dtd") as handle:
             dtd_text = handle.read()
-        store = cls(dtd_text)
+        store = cls(dtd_text, **config)
 
         def declare(name: str, value: object, instance) -> None:
             # same inference as define_name — against the *restored*

@@ -1,0 +1,281 @@
+"""Execute plans against the relational shredding.
+
+:class:`SQLBackend` turns a verified algebra plan into a **hybrid**:
+the maximal relational prefix of the plan compiles into SQL statements
+(:mod:`repro.sqlbackend.emit`), a :class:`_SQLRowsOp` feed hydrates
+the result rows back into ordinary binding dicts, and every operator
+outside the relational subset keeps running as plain Python on top —
+through the ordinary :func:`repro.algebra.execute.execute_plan`, so
+projection, deduplication, profiling and the ``SharedOp`` memo behave
+identically to the algebra backend.
+
+The backend *refuses* (raises :class:`SQLUnsupportedError`, so
+callers fall back to plan execution) instead of approximating when
+
+* the plan's root is not the standard ``ProjectOp``,
+* a touched persistence root shredded non-navigably (node budget,
+  suppressed dereference, over-cap dereference chain),
+* the program contains structural scans but the context's path
+  semantics is not ``restricted``, or its ``max_paths`` budget could
+  bite (SQL range scans cannot reproduce the enumeration-limit error
+  contract).
+
+Freshness is epoch-gated: :meth:`SQLBackend.execute` calls
+:meth:`~repro.sqlbackend.shred.Shred.refresh` first, which is a single
+epoch comparison when the store has not changed.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator
+
+from repro.algebra.execute import execute_plan
+from repro.algebra.operators import (
+    IntervalJoinOp,
+    Operator,
+    ProjectOp,
+    SelectOp,
+    SharedOp,
+    UnionOp,
+    _pad,
+)
+from repro.errors import SQLExecutionError, SQLUnsupportedError
+from repro.oodb.values import TupleValue
+from repro.paths.enumeration import RESTRICTED
+from repro.paths.steps import Path
+from repro.sqlbackend.dialect import Dialect
+from repro.sqlbackend.emit import (
+    ConstCol,
+    Emitter,
+    Fragment,
+    IntCol,
+    PathCol,
+    SQLProgram,
+    StrCol,
+    ValCol,
+    _Unsupported,
+)
+from repro.sqlbackend.shred import Shred
+
+
+class HybridPlan:
+    """One compiled hybrid: the executable plan + its SQL programs."""
+
+    __slots__ = ("plan", "programs", "head")
+
+    def __init__(self, plan: ProjectOp,
+                 programs: list[SQLProgram]) -> None:
+        self.plan = plan
+        self.programs = programs
+        self.head = plan.head
+
+    @property
+    def sql(self) -> str:
+        """The emitted statement(s), for ``explain_analyze``."""
+        return "\n\n".join(p.sql for p in self.programs)
+
+    @property
+    def prefilters(self) -> int:
+        return sum(p.prefilters for p in self.programs)
+
+
+class _SQLRowsOp(Operator):
+    """The feed operator: one SQL statement, hydrated row by row."""
+
+    def __init__(self, backend: "SQLBackend",
+                 program: SQLProgram) -> None:
+        self.backend = backend
+        self.program = program
+
+    def _rows(self, ctx: Any) -> Iterator[dict]:
+        return self.backend._stream(self.program,
+                                    metrics=ctx.metrics)
+
+    def produces(self) -> frozenset:
+        return frozenset(self.program.columns)
+
+    def describe(self, indent: int = 0) -> str:
+        variables = ", ".join(
+            sorted(str(v) for v in self.program.columns))
+        return _pad(indent) + f"SQLRows [{variables}]"
+
+
+class SQLBackend:
+    """The relational execution engine over one instance's shred."""
+
+    def __init__(self, instance: Any, epoch_source: Any = None,
+                 dialect: Dialect | None = None,
+                 metrics: Any = None) -> None:
+        self.instance = instance
+        self.metrics = metrics
+        self.shred = Shred(instance, epoch_source=epoch_source,
+                           dialect=dialect, metrics=metrics)
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, plan: Any, metrics: Any = None) -> HybridPlan:
+        """Hybridize a (verified) algebra plan.
+
+        Raises :class:`SQLUnsupportedError` only for a malformed root;
+        unsupported *operators* stay in Python instead.  ``metrics``
+        overrides the backend's own registry for this compilation (the
+        engine passes its per-run registry through)."""
+        if metrics is None:
+            metrics = self.metrics
+        if not isinstance(plan, ProjectOp):
+            raise SQLUnsupportedError(
+                "plan root is not a projection; refusing to emit")
+        emitter = Emitter(self.instance.root_names)
+        programs: list[SQLProgram] = []
+        memo: dict[int, tuple[str, Any]] = {}
+
+        def feed(fragment: Fragment) -> _SQLRowsOp:
+            program = emitter.program(fragment)
+            programs.append(program)
+            return _SQLRowsOp(self, program)
+
+        def materialize(result: tuple[str, Any]) -> Operator:
+            kind, payload = result
+            return feed(payload) if kind == "frag" else payload
+
+        def visit(op: Any) -> tuple[str, Any]:
+            key = id(op)
+            if key in memo:
+                return memo[key]
+            result = rewrite(op)
+            memo[key] = result
+            return result
+
+        def rewrite(op: Any) -> tuple[str, Any]:
+            if isinstance(op, IntervalJoinOp):
+                # scan + vkey prefilter in SQL, the exact recheck atom
+                # in Python — the operator's documented fallback path
+                try:
+                    fragment = emitter.interval_join(op)
+                    return ("op", SelectOp(feed(fragment),
+                                           op.recheck_atom))
+                except _Unsupported:
+                    pass
+            elif isinstance(op, SharedOp):
+                # keep the Python memo wrapper either way, so a shared
+                # stream (and its statement) still runs only once
+                clone = copy.copy(op)
+                try:
+                    clone.child = feed(emitter.emit(op.child))
+                except _Unsupported:
+                    clone.child = materialize(visit(op.child))
+                return ("op", clone)
+            else:
+                try:
+                    return ("frag", emitter.emit(op))
+                except _Unsupported:
+                    pass
+            # boundary: this operator runs in Python over its
+            # (possibly SQL-fed) child stream
+            if isinstance(op, SelectOp):
+                kind, payload = visit(op.child)
+                if kind == "frag":
+                    narrowed = emitter.contains_prefilter(payload,
+                                                          op.atom)
+                    if narrowed is not None:
+                        payload = narrowed
+                    child = feed(payload)
+                else:
+                    child = payload
+                clone = copy.copy(op)
+                clone.child = child
+                return ("op", clone)
+            if isinstance(op, UnionOp):
+                clone = copy.copy(op)
+                clone.branches = [materialize(visit(branch))
+                                  for branch in op.branches]
+                clone._branch_probes = None
+                return ("op", clone)
+            if not hasattr(op, "child"):  # pragma: no cover
+                raise SQLUnsupportedError(
+                    f"cannot hybridize {type(op).__name__}")
+            clone = copy.copy(op)
+            clone.child = materialize(visit(op.child))
+            return ("op", clone)
+
+        child = materialize(visit(plan.child))
+        hybrid = HybridPlan(ProjectOp(child, plan.head), programs)
+        if metrics is not None:
+            metrics.inc("sql.compiles")
+            metrics.inc("sql.feeds", len(programs))
+            metrics.inc("sql.prefilters", hybrid.prefilters)
+        return hybrid
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, hybrid: HybridPlan, ctx: Any) -> Any:
+        """Refresh the shred, check the guards, run the hybrid plan."""
+        self.shred.refresh()
+        for program in hybrid.programs:
+            self._guard(program, ctx)
+        return execute_plan(hybrid.plan, ctx)
+
+    def _guard(self, program: SQLProgram, ctx: Any) -> None:
+        for name in program.roots:
+            shredded = self.shred.root_shred(name)
+            if shredded is not None and not shredded.navigable:
+                raise SQLUnsupportedError(
+                    f"root {name!r} is not navigable: "
+                    f"{shredded.reason}")
+        if not program.has_scans:
+            return
+        if ctx.path_semantics != RESTRICTED:
+            raise SQLUnsupportedError(
+                "structural SQL scans require restricted path "
+                "semantics")
+        if ctx.max_paths is not None:
+            largest = self.shred.max_root_size(iter(program.roots))
+            if largest + 1 > ctx.max_paths:
+                raise SQLUnsupportedError(
+                    "a shredded root outgrew the enumeration budget; "
+                    "only the live walk reproduces the limit error")
+
+    def _stream(self, program: SQLProgram,
+                metrics: Any = None) -> Iterator[dict]:
+        if metrics is None:
+            metrics = self.metrics
+        try:
+            names, rows = self.shred.execute(program.sql,
+                                             program.params)
+        except self.shred.dialect.errors() as exc:
+            raise SQLExecutionError(
+                f"emitted statement failed: {exc}") from exc
+        if metrics is not None:
+            metrics.inc("sql.statements")
+            metrics.inc("sql.rows_fetched", len(rows))
+        position = {name: i for i, name in enumerate(names)}
+        columns = [(variable, desc)
+                   for variable, desc in program.columns.items()]
+        shreds = self.shred.roots
+        for row in rows:
+            binding: dict = {}
+            for variable, desc in columns:
+                if isinstance(desc, ValCol):
+                    shredded = shreds[row[position[desc.root]]]
+                    pre = row[position[desc.pre]]
+                    if row[position[desc.mode]] == "n":
+                        binding[variable] = shredded.values[pre]
+                    else:
+                        binding[variable] = TupleValue(
+                            [(shredded.names[pre],
+                              shredded.values[pre])])
+                elif isinstance(desc, ConstCol):
+                    binding[variable] = desc.value
+                elif isinstance(desc, PathCol):
+                    shredded = shreds[row[position[desc.root]]]
+                    node = row[position[desc.node]]
+                    depth = row[position[desc.depth]]
+                    binding[variable] = Path._unsafe(
+                        shredded.paths[node].steps[depth:])
+                elif isinstance(desc, (IntCol, StrCol)):
+                    binding[variable] = row[position[desc.col]]
+                else:  # pragma: no cover
+                    raise SQLExecutionError(
+                        f"unknown descriptor {type(desc).__name__}")
+            yield binding

@@ -1,0 +1,416 @@
+"""Shred persistence roots into the relational accel tables.
+
+One :class:`Shred` folds the *same*
+:func:`~repro.paths.enumeration.walk_events` stream the structural
+index consumes — one source of truth, so a SQL range scan enumerates
+exactly what a live walk (or an indexed scan) would.  The fold mirrors
+:func:`repro.structindex.index._build_block` bit for bit:
+
+* every ENTER event becomes one ``node`` row with its pre rank, post
+  rank, level, parent and subtree end (``end_pre``);
+* BLOCKED events mark every open node strictly below the crossing oid
+  *incomplete* — a fresh walk started inside those subtrees would
+  cross the dereference this walk suppressed, so range scans starting
+  there would lie;
+* a node-budget overflow yields an empty, truncated root.
+
+A root is **navigable** when every node is complete and no implicit
+dereference chain overflows the evaluator's 16-step cap; the backend
+refuses (and falls back) otherwise, instead of approximating.
+
+Freshness is epoch-gated off the plan cache: :meth:`Shred.refresh`
+rebuilds everything when the store epoch moved, exactly like
+:meth:`repro.structindex.StructuralIndex.refresh` — the same bump
+that invalidates cached plans marks the shred stale.
+
+Python-side hydration state (``values``/``paths`` arrays per root)
+turns result rows back into model values without re-walking: the
+arrays hold the *actual* objects of the instance, so hydrated rows
+are indistinguishable from interpreter bindings.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from repro.oodb.values import (
+    ATOM_PYTYPES,
+    ListValue,
+    Nil,
+    Oid,
+    SetValue,
+    TupleValue,
+)
+from repro.errors import EvaluationError
+from repro.paths.enumeration import (
+    BLOCKED,
+    ENTER,
+    RESTRICTED,
+    walk_events,
+)
+from repro.paths.steps import AttrStep, DerefStep, ElemStep, IndexStep, Path
+from repro.sqlbackend.dialect import Dialect, SQLiteDialect
+
+#: Same ceiling as the structural index: a root larger than this
+#: shreds to an (unusable) truncated stub instead of a memory blowup.
+DEFAULT_MAX_NODES = 1_000_000
+
+#: The evaluator raises after this many implicit dereferences; the
+#: shredder marks roots whose chains exceed it non-navigable.
+DEREF_CAP = 16
+
+
+def value_key(value: object) -> str | None:
+    """The equality key stored in ``node.vkey``.
+
+    Two *atomic* values (or oids, or nil) are :func:`equivalent` iff
+    Python ``==`` holds, and ``==`` across int/bool/float follows the
+    numeric tower — so numbers canonicalize to one key.  Collections
+    get ``None``: SQL never decides their equality, the emitter
+    enumerates and rechecks exactly.
+    """
+    if isinstance(value, Oid):
+        return f"o:{value.number}:{value.class_name}"
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, float):
+        if value != value:          # NaN: equal to nothing, not even
+            return None             # itself — never joinable by key
+        if value in (float("inf"), float("-inf")):
+            return f"n:{value!r}"
+        if value.is_integer():
+            return f"n:{int(value)}"
+        return f"n:{value!r}"
+    if isinstance(value, int):
+        return f"n:{value}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    if isinstance(value, Nil):
+        return "nil"
+    return None
+
+
+def _kind_of(value: object) -> str:
+    if isinstance(value, Oid):
+        return "oid"
+    if isinstance(value, TupleValue):
+        return "tuple"
+    if isinstance(value, ListValue):
+        return "list"
+    if isinstance(value, SetValue):
+        return "set"
+    if isinstance(value, Nil):
+        return "nil"
+    return "atom"
+
+
+class ShreddedRoot:
+    """One persistence root's shred: hydration arrays + usability."""
+
+    __slots__ = ("name", "origin", "values", "paths", "names", "size",
+                 "navigable", "reason")
+
+    def __init__(self, name: str, origin: object) -> None:
+        self.name = name
+        self.origin = origin
+        #: pre -> the reached model value (the actual object).
+        self.values: list[object] = []
+        #: pre -> absolute :class:`Path` from the root.
+        self.paths: list[Path] = []
+        #: pre -> the attribute name when the node was reached through
+        #: an :class:`AttrStep` (hetero-wrapper hydration), else None.
+        self.names: list[str | None] = []
+        self.size = 0
+        self.navigable = True
+        self.reason: str | None = None
+
+    def block(self, why: str) -> None:
+        self.navigable = False
+        if self.reason is None:
+            self.reason = why
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ShreddedRoot({self.name!r}, size={self.size}, "
+                f"navigable={self.navigable})")
+
+
+class Shred:
+    """The relational image of every persistence root.
+
+    ``epoch_source`` is any object with an ``epoch`` attribute (the
+    store's plan cache in practice); ``None`` disables staleness
+    tracking and every :meth:`refresh` rebuilds — correct, just slow,
+    for cacheless engines.
+    """
+
+    def __init__(self, instance: Any, epoch_source: Any = None,
+                 dialect: Dialect | None = None,
+                 metrics: Any = None,
+                 max_nodes: int | None = DEFAULT_MAX_NODES) -> None:
+        self.instance = instance
+        self.epoch_source = epoch_source
+        self.dialect = dialect if dialect is not None else SQLiteDialect()
+        self.metrics = metrics
+        self.max_nodes = max_nodes
+        self.roots: dict[str, ShreddedRoot] = {}
+        self._lock = threading.RLock()
+        self._connection: Any = None
+        self._built = False
+        self._synced_epoch: int | None = None
+
+    # -- freshness ------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int | None:
+        source = self.epoch_source
+        return None if source is None else int(source.epoch)
+
+    def stale(self) -> bool:
+        if not self._built:
+            return True
+        if self.epoch_source is None:
+            return True
+        return self.epoch != self._synced_epoch
+
+    def refresh(self) -> int:
+        """Bring the shred up to date; returns roots (re)shredded.
+        Cheap when clean (single epoch comparison, no lock)."""
+        if not self.stale():
+            return 0
+        with self._lock:
+            if not self.stale():
+                return 0
+            return self._rebuild()
+
+    def connection(self) -> Any:
+        if self._connection is None:
+            with self._lock:
+                if self._connection is None:
+                    connection = self.dialect.connect()
+                    self.dialect.create_schema(connection)
+                    self._connection = connection
+        return self._connection
+
+    def execute(self, sql: str, params: dict | tuple = ()
+                ) -> tuple[list[str], list[tuple]]:
+        """Run one statement; returns (column names, all rows).
+
+        Fetching eagerly under the lock keeps one connection safe
+        across server threads; hydration happens outside."""
+        with self._lock:
+            cursor = self.connection().execute(sql, params)
+            names = [entry[0] for entry in cursor.description or ()]
+            return names, cursor.fetchall()
+
+    # -- the fold -------------------------------------------------------------
+
+    def _rebuild(self) -> int:
+        connection = self.connection()
+        self.dialect.reset(connection)
+        self.roots = {}
+        count = 0
+        for name in self.instance.root_names:
+            if not self.instance.has_root(name):  # pragma: no cover
+                continue
+            origin = self.instance.root(name)
+            self.roots[name] = self._shred_root(
+                connection, name, origin)
+            count += 1
+        self._close_derefs(connection)
+        connection.commit()
+        self._built = True
+        self._synced_epoch = self.epoch
+        if self.metrics is not None:
+            self.metrics.inc("sql.shreds")
+            self.metrics.inc("sql.shred_nodes",
+                             sum(r.size for r in self.roots.values()))
+        return count
+
+    def _shred_root(self, connection: Any, name: str,
+                    origin: object) -> ShreddedRoot:
+        root = ShreddedRoot(name, origin)
+        values = root.values
+        paths = root.paths
+        names = root.names
+        posts: list[int] = []
+        levels: list[int] = []
+        parents: list[int] = []
+        ends: list[int] = []
+        complete: list[bool] = []
+        kinds: list[str] = []
+        steps: list[str] = []
+        positions: list[int] = []
+        child_counts: list[int] = []
+        open_nodes: list[int] = []
+        crossings: dict[str, int] = {}
+        restore: dict[int, tuple] = {}
+        post_counter = 0
+        try:
+            for kind, path, value, level in walk_events(
+                    origin, self.instance, RESTRICTED, self.max_nodes):
+                if kind is ENTER:
+                    pre = len(values)
+                    parent = open_nodes[-1] if open_nodes else -1
+                    if parent >= 0 and isinstance(values[parent], Oid):
+                        crossed = values[parent].class_name
+                        restore[pre] = (crossed,
+                                        crossings.get(crossed))
+                        crossings[crossed] = parent
+                    step, step_name = _step_of(path)
+                    if parent >= 0:
+                        position = child_counts[parent]
+                        child_counts[parent] += 1
+                    else:
+                        position = 0
+                    values.append(value)
+                    paths.append(path)
+                    names.append(step_name)
+                    levels.append(level)
+                    parents.append(parent)
+                    posts.append(-1)
+                    ends.append(-1)
+                    complete.append(True)
+                    kinds.append(_kind_of(value))
+                    steps.append(step)
+                    positions.append(position)
+                    child_counts.append(0)
+                    open_nodes.append(pre)
+                elif kind is BLOCKED:
+                    crossing = crossings.get(value.class_name, -1)
+                    for open_pre in reversed(open_nodes):
+                        if open_pre == crossing:
+                            break
+                        complete[open_pre] = False
+                else:  # LEAVE
+                    pre = open_nodes.pop()
+                    posts[pre] = post_counter
+                    post_counter += 1
+                    ends[pre] = len(values)
+                    undo = restore.pop(pre, None)
+                    if undo is not None:
+                        crossed, previous = undo
+                        if previous is None:
+                            del crossings[crossed]
+                        else:
+                            crossings[crossed] = previous
+        except EvaluationError:
+            stub = ShreddedRoot(name, origin)
+            stub.block("node budget exceeded")
+            return stub
+        root.size = len(values)
+        if not all(complete):
+            root.block("suppressed dereference (incomplete subtree)")
+        self._insert_root(connection, name, root, posts, levels,
+                          parents, ends, kinds, steps, positions)
+        return root
+
+    def _insert_root(self, connection: Any, name: str,
+                     root: ShreddedRoot, posts: list[int],
+                     levels: list[int], parents: list[int],
+                     ends: list[int], kinds: list[str],
+                     steps: list[str], positions: list[int]) -> None:
+        values = root.values
+        names = root.names
+        node_rows = []
+        sel_rows = []
+        content_rows = []
+        attr_rows = []
+        for pre, value in enumerate(values):
+            kind = kinds[pre]
+            node_rows.append((
+                name, pre, posts[pre], levels[pre], parents[pre],
+                ends[pre], kind,
+                value.class_name if isinstance(value, Oid) else None,
+                steps[pre], names[pre], positions[pre],
+                value_key(value),
+                None if kind == "oid" else pre,
+            ))
+            if kind == "atom" and isinstance(value, str):
+                content_rows.append((name, pre, value))
+            if steps[pre] == "attr":
+                rendered = (str(value)
+                            if isinstance(value, ATOM_PYTYPES)
+                            else None)
+                attr_rows.append((name, pre, names[pre], rendered))
+            if kind == "tuple":
+                children = _children(pre, ends)
+                for child in children:
+                    sel_rows.append((name, pre, names[child], child))
+                if len(children) == 1:
+                    marker = names[children[0]]
+                    payload = children[0]
+                    if kinds[payload] == "tuple":
+                        for grand in _children(payload, ends):
+                            if names[grand] != marker:
+                                sel_rows.append(
+                                    (name, pre, names[grand], grand))
+        connection.executemany(
+            "INSERT INTO node (root, pre, post, level, parent, "
+            "end_pre, kind, class, step, name, position, vkey, "
+            "deref_base) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            node_rows)
+        connection.executemany(
+            "INSERT INTO sel (root, base, name, target) "
+            "VALUES (?, ?, ?, ?)", sel_rows)
+        connection.executemany(
+            "INSERT INTO content (root, pre, value) VALUES (?, ?, ?)",
+            content_rows)
+        connection.executemany(
+            "INSERT INTO attr (root, pre, name, value) "
+            "VALUES (?, ?, ?, ?)", attr_rows)
+
+    def _close_derefs(self, connection: Any) -> None:
+        """Resolve ``deref_base`` for oid nodes with the dialect's
+        recursive chase, then derive the ``cont`` swap column."""
+        updates = []
+        for row in connection.execute(self.dialect.deref_chase_sql()):
+            root_name, origin, cur, depth, kind = row
+            if kind == "oid" or depth > DEREF_CAP:
+                shredded = self.roots.get(root_name)
+                if shredded is not None:
+                    shredded.block("dereference chain over the "
+                                   f"{DEREF_CAP}-step cap")
+                continue
+            updates.append((cur, root_name, origin))
+        connection.executemany(
+            "UPDATE node SET deref_base = ? WHERE root = ? AND pre = ?",
+            updates)
+        connection.execute("UPDATE node SET cont = deref_base")
+        connection.execute(self.dialect.cont_swap_sql())
+
+    # -- lookups --------------------------------------------------------------
+
+    def root_shred(self, name: str) -> ShreddedRoot | None:
+        return self.roots.get(name)
+
+    def max_root_size(self, names: Iterator[str] | None = None) -> int:
+        pool = (self.roots.values() if names is None
+                else [self.roots[n] for n in names if n in self.roots])
+        return max((r.size for r in pool), default=0)
+
+
+def _step_of(path: Path) -> tuple[str, str | None]:
+    if not path.steps:
+        return "root", None
+    last = path.steps[-1]
+    if isinstance(last, AttrStep):
+        return "attr", last.name
+    if isinstance(last, IndexStep):
+        return "index", None
+    if isinstance(last, ElemStep):
+        return "elem", None
+    if isinstance(last, DerefStep):
+        return "deref", None
+    raise AssertionError(f"unknown step {last!r}")  # pragma: no cover
+
+
+def _children(pre: int, ends: list[int]) -> list[int]:
+    """Direct children of ``pre`` in pre order (sibling hop via end)."""
+    out = []
+    child = pre + 1
+    while child < ends[pre]:
+        out.append(child)
+        child = ends[child]
+    return out

@@ -27,6 +27,7 @@ generation advance) only happens when the caller opts in
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Iterator
 
@@ -42,9 +43,19 @@ _EMA_ALPHA = 0.3
 
 
 def q_error(estimated: float, actual: float) -> float:
-    """The symmetric ratio error ((max+1)/(min+1); 1.0 = perfect)."""
-    high = max(estimated, actual)
-    low = min(estimated, actual)
+    """The symmetric ratio error ((max+1)/(min+1); 1.0 = perfect).
+
+    Total on degenerate inputs instead of propagating garbage: a NaN
+    on either side reports ``inf`` (worst possible), negative values —
+    a cost annotation that went wrong upstream — clamp to the zero
+    floor (so ``low = -1`` cannot divide by zero), and an infinite
+    estimate against a finite actual reports ``inf``."""
+    if math.isnan(estimated) or math.isnan(actual):
+        return math.inf
+    high = max(estimated, actual, 0.0)
+    low = max(min(estimated, actual), 0.0)
+    if math.isinf(high):
+        return 1.0 if math.isinf(low) else math.inf
     return (high + 1.0) / (low + 1.0)
 
 

@@ -1,0 +1,84 @@
+"""Regression tests: degenerate estimates must not poison reporting.
+
+The q-error is total — zero rows, negative annotations, NaN and
+infinities all produce a defined (if pessimal) value — and the
+``explain_analyze`` aggregate excludes non-finite nodes from the mean
+so one degenerate operator cannot wash it out.
+"""
+
+import math
+
+from repro import DocumentStore
+from repro.corpus import ARTICLE_DTD, SAMPLE_ARTICLE
+from repro.observe.report import ExplainReport
+from repro.stats.manager import q_error
+
+
+class TestQError:
+    def test_perfect_and_symmetric(self):
+        assert q_error(10, 10) == 1.0
+        assert q_error(3, 12) == q_error(12, 3)
+
+    def test_zero_rows_is_defined(self):
+        # the original formulation divided by min(est, actual)
+        assert q_error(0.0, 0.0) == 1.0
+        assert math.isfinite(q_error(0.0, 5.0))
+        assert q_error(0.0, 5.0) == 6.0
+
+    def test_nan_reports_worst_possible(self):
+        assert q_error(float("nan"), 5.0) == math.inf
+        assert q_error(5.0, float("nan")) == math.inf
+
+    def test_negative_annotations_clamp_to_zero(self):
+        # low = -1 used to divide by zero after the +1 smoothing
+        assert math.isfinite(q_error(-1.0, 0.0))
+        assert q_error(-1.0, -1.0) == 1.0
+        assert q_error(-3.0, 4.0) == q_error(0.0, 4.0)
+
+    def test_infinite_estimates(self):
+        assert q_error(math.inf, 5.0) == math.inf
+        assert q_error(5.0, math.inf) == math.inf
+        assert q_error(math.inf, math.inf) == 1.0
+
+
+class _StubReport(ExplainReport):
+    """estimation_summary() only consults estimation_errors()."""
+
+    def __init__(self, qs):
+        self._qs = qs
+
+    def estimation_errors(self):
+        return [{"q_error": q} for q in self._qs]
+
+
+class TestEstimationSummary:
+    def test_non_finite_nodes_do_not_wash_out_the_mean(self):
+        summary = _StubReport([1.0, 3.0, math.inf]).estimation_summary()
+        assert summary["operators"] == 3
+        assert summary["mean_q_error"] == 2.0
+        assert summary["max_q_error"] == math.inf
+
+    def test_all_degenerate_reports_inf_not_a_crash(self):
+        summary = _StubReport([math.inf, math.inf]).estimation_summary()
+        assert summary["mean_q_error"] == math.inf
+
+    def test_no_estimates_is_none(self):
+        assert _StubReport([]).estimation_summary() is None
+
+    def test_costed_plan_returning_zero_rows(self):
+        # end to end: a costed run whose operators produce no rows
+        # must render and summarize without dividing by zero
+        store = DocumentStore(ARTICLE_DTD, backend="algebra")
+        store.load_text(SAMPLE_ARTICLE, name="my_article")
+        store.build_text_index()
+        store.build_structural_index()
+        report = store._engine.profile(
+            """select s from a in Articles, s in a.sections
+               where s.title contains ("zzznothingzzz")""")
+        assert len(report.result) == 0
+        rendered = report.render()  # must not raise
+        summary = report.estimation_summary()
+        if summary is not None:
+            assert summary["mean_q_error"] >= 1.0
+            assert not math.isnan(summary["mean_q_error"])
+            assert "estimation error" in rendered
